@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Where should the next satellite go? (the paper's §3.3 design study)
+
+Demonstrates the incentive-aligned placement machinery:
+
+1. the Fig. 4b phase sweep — between two satellites of a 12-satellite
+   plane, the midpoint wins;
+2. the Fig. 4c factor comparison — changing inclination beats changing
+   altitude or phase;
+3. a greedy gap-filling design vs random and clustered baselines.
+
+Run:
+    python examples/constellation_design.py
+"""
+
+import numpy as np
+
+from repro.analysis.reporting import Series, Table
+from repro.core.placement import (
+    PlacementScorer,
+    clustered_design,
+    greedy_gap_filling_design,
+    random_design,
+)
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.fig4b_phase_sweep import run_fig4b
+from repro.experiments.fig4c_design_factors import run_fig4c
+from repro.constellation.shells import starlink_like_constellation
+from repro.ground.cities import CITIES
+from repro.sim.clock import TimeGrid
+
+
+def main() -> None:
+    config = ExperimentConfig(runs=1, step_s=300.0)
+
+    # -- Fig. 4b: the phase sweep. -----------------------------------------
+    print("Sweeping 29 phase positions between two satellites "
+          "(12-satellite plane, 53 deg / 546 km)...")
+    fig4b = run_fig4b(config)
+    series = Series("Coverage gain vs phase offset", "offset (deg)", "gain (h)")
+    for point in fig4b.points[::4]:
+        series.add_point(point.phase_offset_deg, round(point.gain_hours, 3))
+    series.print()
+    print(f"Best offset: {fig4b.best_offset_deg():.0f} deg — the midpoint, "
+          "i.e. the farthest point from existing satellites.")
+
+    # -- Fig. 4c: which orbital factor matters most? -----------------------
+    fig4c = run_fig4c(config)
+    table = Table("Coverage gain by design factor", ["factor", "gain (min)"],
+                  precision=0)
+    for label, gain in fig4c.ranking():
+        table.add_row(label, gain * 60.0)
+    table.print()
+
+    # -- Strategy comparison at a fixed budget. -----------------------------
+    print("\nDesigning a 10-satellite constellation three ways "
+          "(population-weighted coverage over the 21 cities, 1 week)...")
+    grid = TimeGrid.one_week(step_s=300.0)
+    rng = np.random.default_rng(3)
+    pool = starlink_like_constellation()
+
+    strategies = {
+        "gap-filling (greedy)": greedy_gap_filling_design(
+            10, grid, rng, candidates_per_round=24
+        ),
+        "random from pool": random_design(10, pool, rng),
+        "clustered (anti-pattern)": clustered_design(10, rng),
+    }
+    comparison = Table("Placement strategies", ["strategy", "weighted coverage %"],
+                       precision=2)
+    for name, design in strategies.items():
+        coverage = PlacementScorer(design, grid, CITIES).base_fraction
+        comparison.add_row(name, 100.0 * coverage)
+    comparison.print()
+
+    print("\nThe gap-filling strategy is also the individually rational one:")
+    print("a party that fills the biggest hole gets exclusive customers there.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Global coverage maps: what "global coverage" actually looks like.
+
+Renders area-weighted coverage grids for three constellation designs and
+reports the global coverage fraction and Jain fairness (coverage equity) of
+each — the quantitative version of the paper's Fig. 1b intuition that
+region-specific designs waste their satellites.
+
+Run:
+    python examples/global_coverage_map.py
+"""
+
+import numpy as np
+
+from repro.analysis.heatmap import compute_coverage_grid, coverage_equity
+from repro.constellation.satellite import Constellation, Satellite
+from repro.constellation.walker import walker_delta, walker_star
+from repro.core.placement import clustered_design
+from repro.sim.clock import TimeGrid
+
+
+def _constellation(elements, prefix):
+    return Constellation(
+        [
+            Satellite(sat_id=f"{prefix}-{index:03d}", elements=element)
+            for index, element in enumerate(elements)
+        ]
+    )
+
+
+def main() -> None:
+    grid = TimeGrid.hours(12.0, step_s=300.0)
+    designs = {
+        "Walker delta 53 deg (Starlink-style, 120 sats)": _constellation(
+            walker_delta(120, 12, 1, inclination_deg=53.0, altitude_km=550.0), "WD"
+        ),
+        "Walker star 87.9 deg (OneWeb-style polar, 120 sats)": _constellation(
+            walker_star(120, 12, 1, inclination_deg=87.9, altitude_km=1200.0), "WS"
+        ),
+        "Clustered anti-pattern (120 sats, one phase window)": clustered_design(
+            120, np.random.default_rng(0)
+        ),
+    }
+
+    for name, constellation in designs.items():
+        result = compute_coverage_grid(
+            constellation, grid, lat_step_deg=10.0, lon_step_deg=6.0
+        )
+        print(f"\n=== {name} ===")
+        print(result.render_ascii())
+        print(f"global coverage (area-weighted): "
+              f"{100 * result.global_coverage_fraction:.1f}%   "
+              f"coverage equity (Jain): {coverage_equity(result):.3f}")
+
+    print("\nReading: rows are 10-degree latitude bands (N to S), darker is "
+          "better covered.")
+    print("The 53-degree shell concentrates on the populated mid-latitudes; "
+          "the polar shell covers the poles at lower density; the clustered "
+          "design leaves most longitudes dark — the waste MP-LEO's "
+          "interleaved ownership avoids.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""A full MP-LEO lifecycle: contribute, serve, verify, bill, govern.
+
+Three parties (Taiwan, Korea, and a commercial ISP) pool satellites into a
+shared constellation.  The example then runs one day of the bent-pipe
+engine, settles the spare-capacity trades on a token ledger, distributes
+proof-of-coverage rewards, and shows why no single party can deny service
+to a region.
+
+Run:
+    python examples/mpleo_marketplace.py
+"""
+
+import numpy as np
+
+from repro import MultiPartyConstellation, Party, Satellite, TimeGrid
+from repro.constellation.walker import walker_delta
+from repro.core.governance import CommandKind, GovernanceBoard
+from repro.core.incentives import ProofOfCoverageEpoch
+from repro.core.ledger import TokenLedger
+from repro.core.market import DataMarket, FlatPricing
+from repro.core.robustness import largest_party_withdrawal
+from repro.core.sharing import exchange_matrix
+from repro.ground.cities import CITIES, TAIPEI, city_by_name
+from repro.ground.gsaas import GroundStationPool
+from repro.ground.sites import UserTerminal
+from repro.sim.engine import BentPipeSimulator
+
+PARTIES = (
+    ("taiwan", TAIPEI),
+    ("korea", city_by_name("Seoul")),
+    ("isp", city_by_name("London")),
+)
+
+
+def build_registry(rng: np.random.Generator) -> MultiPartyConstellation:
+    """Each party contributes 16 satellites, interleaved across one shell."""
+    elements = walker_delta(48, 8, 1, inclination_deg=53.0, altitude_km=550.0)
+    registry = MultiPartyConstellation()
+    for index, (name, _) in enumerate(PARTIES):
+        registry.join(Party(name, launch_budget=16))
+        satellites = [
+            Satellite(sat_id=f"{name.upper()}-{slot:02d}", elements=element)
+            for slot, element in enumerate(elements[index::3])
+        ]
+        registry.contribute(name, satellites)
+    return registry
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    registry = build_registry(rng)
+    constellation = registry.constellation()
+    print(f"Shared constellation: {len(constellation)} satellites, "
+          f"stakes {registry.stakes()}")
+
+    # -- Ground segment: each party rents GSaaS capacity near home. -------
+    pool = GroundStationPool()
+    terminals, stations = [], []
+    for name, city in PARTIES:
+        terminals.append(
+            UserTerminal(
+                f"ut-{name}", city.latitude_deg, city.longitude_deg,
+                min_elevation_deg=25.0, party=name, demand_mbps=150.0,
+            )
+        )
+        stations.append(
+            pool.rent_nearest(name, city.latitude_deg, city.longitude_deg)
+        )
+    print(f"Rented stations: {[station.name for station in stations]}")
+
+    # -- One day of bent-pipe service. ------------------------------------
+    grid = TimeGrid.hours(24.0, step_s=120.0)
+    result = BentPipeSimulator(constellation, terminals, stations, grid).run(rng)
+    print(f"\nSessions: {len(result.sessions)}, "
+          f"served {result.total_served_megabits / 8e3:.1f} GB total, "
+          f"{result.spare_capacity_megabits() / 8e3:.1f} GB across parties")
+
+    names = [name for name, _ in PARTIES]
+    matrix = exchange_matrix(result.sessions, names)
+    print("Exchange matrix (GB consumed by row-party on column-party sats):")
+    header = "          " + "  ".join(f"{name:>8s}" for name in names)
+    print(header)
+    for i, name in enumerate(names):
+        cells = "  ".join(f"{matrix[i, j] / 8e3:8.2f}" for j in range(len(names)))
+        print(f"  {name:>8s}{cells}")
+
+    # -- Billing: settle spare-capacity trades on the ledger. -------------
+    ledger = TokenLedger()
+    for name in names:
+        ledger.mint(name, 10_000.0, memo="bootstrap stake")
+    market = DataMarket(pricing=FlatPricing(0.001))
+    invoices = market.bill(result.sessions)
+    transfers = market.settle(invoices, ledger)
+    print(f"\nMarket: {len(invoices)} invoices, net transfers: "
+          f"{ {pair: round(amount, 2) for pair, amount in transfers.items()} }")
+
+    # -- Proof-of-coverage rewards. ----------------------------------------
+    verifiers = [city.terminal(min_elevation_deg=10.0) for city in CITIES[:6]]
+    epoch = ProofOfCoverageEpoch(
+        constellation=constellation, verifiers=verifiers, grid=grid
+    )
+    epoch.generate_proofs(rng, pings_per_verifier=300)
+    minted = epoch.distribute(ledger, reward_pool=1_000.0)
+    provider_rewards = {k: round(v, 1) for k, v in minted.items() if k in names}
+    print(f"Proof-of-coverage rewards to providers: {provider_rewards}")
+    print(f"Ledger verifies: {ledger.verify()}, balances: "
+          f"{ {k: round(v, 1) for k, v in ledger.balances().items() if k in names} }")
+
+    # -- Governance: nobody can unilaterally deny a region. ---------------
+    board = GovernanceBoard(registry.stakes())
+    proposal = board.propose("isp", CommandKind.DENY_REGION, "Taipei")
+    print(f"\nGovernance: 'isp' proposes denying service over Taipei -> "
+          f"approved={board.is_approved(proposal.proposal_id)} "
+          f"(needs 2/3 stake, has {board.approval_stake(proposal.proposal_id):.2f})")
+
+    # -- Robustness: what if the largest party walks? ----------------------
+    impact = largest_party_withdrawal(registry, TimeGrid.hours(24.0, step_s=300.0),
+                                      CITIES[:6])
+    print(f"Largest-party exit: coverage {100 * impact.base_fraction:.1f}% -> "
+          f"{100 * impact.reduced_fraction:.1f}% "
+          f"({impact.reduction_percent:.1f} points lost; degraded, not dead)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Quickstart: coverage of a LEO constellation, in ~30 lines.
+
+Builds a synthetic Starlink-like pool, samples a 1000-satellite
+constellation from it (the paper's Fig. 2 methodology), and reports how
+well it covers a user terminal in Taipei over one simulated day.
+
+Run:
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import TimeGrid, VisibilityEngine, sample_constellation, starlink_like_constellation
+from repro.ground.cities import TAIPEI
+from repro.sim.coverage import coverage_stats
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    pool = starlink_like_constellation()
+    constellation = sample_constellation(pool, 1000, rng)
+    print(f"Sampled {len(constellation)} of {len(pool)} satellites")
+
+    grid = TimeGrid.hours(24.0, step_s=60.0)
+    engine = VisibilityEngine(grid)
+    terminal = TAIPEI.terminal()  # 25 deg elevation mask, like Starlink.
+
+    mask = engine.site_coverage(constellation, [terminal])[0]
+    stats = coverage_stats(mask, grid.step_s)
+
+    print(f"Site: {terminal.name} ({terminal.latitude_deg:.2f}N, "
+          f"{terminal.longitude_deg:.2f}E)")
+    print(f"Covered:       {stats.covered_percent:.2f}% of the day")
+    print(f"Longest gap:   {stats.max_gap_s / 60:.1f} minutes")
+    print(f"Gap count:     {stats.gap_count}")
+
+    counts = engine.visible_counts(constellation, [terminal])[0]
+    print(f"Visible satellites: mean {counts.mean():.1f}, max {counts.max()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The offline environment has setuptools but no `wheel` package, so pip's
+PEP-517 editable path (which shells out to bdist_wheel) fails.  This shim
+lets `pip install -e . --no-build-isolation` fall back to the legacy
+`setup.py develop` route.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,67 @@
+"""Gap-distribution analytics.
+
+Fig. 2's qualitative claims ("continuous gaps of up to over an hour") are
+about the *distribution* of gaps, not just their total.  These helpers
+summarize gap populations across Monte-Carlo runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.sim.coverage import gap_lengths_s
+
+
+@dataclass(frozen=True)
+class GapDistribution:
+    """Summary of a population of coverage gaps (seconds)."""
+
+    count: int
+    total_s: float
+    mean_s: float
+    median_s: float
+    p90_s: float
+    p99_s: float
+    max_s: float
+
+    @classmethod
+    def from_gaps(cls, gaps_s: np.ndarray) -> "GapDistribution":
+        gaps = np.asarray(gaps_s, dtype=np.float64)
+        if gaps.size == 0:
+            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        return cls(
+            count=int(gaps.size),
+            total_s=float(gaps.sum()),
+            mean_s=float(gaps.mean()),
+            median_s=float(np.median(gaps)),
+            p90_s=float(np.percentile(gaps, 90)),
+            p99_s=float(np.percentile(gaps, 99)),
+            max_s=float(gaps.max()),
+        )
+
+    @classmethod
+    def from_mask(cls, mask: np.ndarray, step_s: float) -> "GapDistribution":
+        return cls.from_gaps(gap_lengths_s(mask, step_s))
+
+
+def pooled_gap_distribution(
+    masks: Iterable[np.ndarray], step_s: float
+) -> GapDistribution:
+    """Gap distribution pooled over multiple runs' coverage masks."""
+    pooled: List[np.ndarray] = [gap_lengths_s(mask, step_s) for mask in masks]
+    if not pooled:
+        raise ValueError("at least one mask is required")
+    return GapDistribution.from_gaps(np.concatenate(pooled))
+
+
+def survival_curve(
+    gaps_s: Sequence[float], thresholds_s: Sequence[float]
+) -> List[float]:
+    """P(gap >= threshold) for each threshold — a gap CCDF at chosen points."""
+    gaps = np.asarray(list(gaps_s), dtype=np.float64)
+    if gaps.size == 0:
+        return [0.0 for _ in thresholds_s]
+    return [float((gaps >= threshold).mean()) for threshold in thresholds_s]

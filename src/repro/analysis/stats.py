@@ -1,0 +1,124 @@
+"""Monte-Carlo statistics helpers.
+
+The paper reports means over 100 simulation runs without intervals; a
+production reproduction should quantify its own sampling noise.  These
+helpers compute normal-approximation and bootstrap confidence intervals for
+the per-point estimates the experiments produce.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Two-sided z-scores for common confidence levels.
+_Z_SCORES = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """A Monte-Carlo estimate with its uncertainty."""
+
+    mean: float
+    std: float
+    count: int
+    ci_low: float
+    ci_high: float
+    confidence: float
+
+    @property
+    def half_width(self) -> float:
+        return (self.ci_high - self.ci_low) / 2.0
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4g} ± {self.half_width:.2g} ({self.count} runs)"
+
+
+def mean_confidence_interval(
+    samples: Sequence[float], confidence: float = 0.95
+) -> Estimate:
+    """Normal-approximation CI for the mean of i.i.d. samples.
+
+    Raises:
+        ValueError: On empty samples or unsupported confidence level.
+    """
+    values = np.asarray(list(samples), dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("need at least one sample")
+    if confidence not in _Z_SCORES:
+        raise ValueError(
+            f"confidence must be one of {sorted(_Z_SCORES)}, got {confidence}"
+        )
+    mean = float(values.mean())
+    std = float(values.std(ddof=1)) if values.size > 1 else 0.0
+    margin = _Z_SCORES[confidence] * std / math.sqrt(values.size)
+    return Estimate(
+        mean=mean,
+        std=std,
+        count=int(values.size),
+        ci_low=mean - margin,
+        ci_high=mean + margin,
+        confidence=confidence,
+    )
+
+
+def bootstrap_confidence_interval(
+    samples: Sequence[float],
+    rng: np.random.Generator,
+    confidence: float = 0.95,
+    resamples: int = 2000,
+) -> Estimate:
+    """Percentile-bootstrap CI for the mean (no normality assumption).
+
+    Raises:
+        ValueError: On empty samples or bad parameters.
+    """
+    values = np.asarray(list(samples), dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("need at least one sample")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    if resamples < 100:
+        raise ValueError(f"resamples must be >= 100, got {resamples}")
+    indices = rng.integers(0, values.size, size=(resamples, values.size))
+    means = values[indices].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(means, [alpha, 1.0 - alpha])
+    return Estimate(
+        mean=float(values.mean()),
+        std=float(values.std(ddof=1)) if values.size > 1 else 0.0,
+        count=int(values.size),
+        ci_low=float(low),
+        ci_high=float(high),
+        confidence=confidence,
+    )
+
+
+def runs_needed_for_half_width(
+    pilot_samples: Sequence[float],
+    target_half_width: float,
+    confidence: float = 0.95,
+) -> int:
+    """How many runs a target CI half-width requires, from a pilot sample.
+
+    Standard sample-size formula: n = (z * s / h)^2.
+
+    Raises:
+        ValueError: On a non-positive target or too-small pilot.
+    """
+    if target_half_width <= 0.0:
+        raise ValueError("target half-width must be positive")
+    values = np.asarray(list(pilot_samples), dtype=np.float64)
+    if values.size < 2:
+        raise ValueError("need at least two pilot samples")
+    if confidence not in _Z_SCORES:
+        raise ValueError(
+            f"confidence must be one of {sorted(_Z_SCORES)}, got {confidence}"
+        )
+    std = float(values.std(ddof=1))
+    if std == 0.0:
+        return 1
+    return max(1, int(math.ceil((_Z_SCORES[confidence] * std / target_half_width) ** 2)))

@@ -1,0 +1,58 @@
+"""Idle-time distribution analytics (Fig. 3's metric, in depth).
+
+Beyond the mean idle percentage the paper plots, these helpers expose the
+full distribution across satellites, which the incentive design cares about
+(a satellite whose idle time is concentrated over oceans earns nothing there
+regardless of the mean).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class IdleTimeSummary:
+    """Distribution of per-satellite idle fractions."""
+
+    mean: float
+    std: float
+    minimum: float
+    p10: float
+    median: float
+    p90: float
+    maximum: float
+
+    @classmethod
+    def from_fractions(cls, idle_fractions: np.ndarray) -> "IdleTimeSummary":
+        fractions = np.asarray(idle_fractions, dtype=np.float64)
+        if fractions.size == 0:
+            raise ValueError("need at least one satellite")
+        if np.any((fractions < 0.0) | (fractions > 1.0)):
+            raise ValueError("idle fractions must be in [0, 1]")
+        return cls(
+            mean=float(fractions.mean()),
+            std=float(fractions.std()),
+            minimum=float(fractions.min()),
+            p10=float(np.percentile(fractions, 10)),
+            median=float(np.median(fractions)),
+            p90=float(np.percentile(fractions, 90)),
+            maximum=float(fractions.max()),
+        )
+
+    @property
+    def mean_percent(self) -> float:
+        return 100.0 * self.mean
+
+
+def idle_reduction_series(
+    idle_by_city_count: Sequence[float],
+) -> np.ndarray:
+    """Marginal idle-time reduction per added city (diff of the Fig. 3 curve)."""
+    series = np.asarray(list(idle_by_city_count), dtype=np.float64)
+    if series.size < 2:
+        raise ValueError("need at least two points")
+    return -np.diff(series)

@@ -1,0 +1,238 @@
+"""Command-line interface: regenerate any paper figure from the shell.
+
+Usage::
+
+    python -m repro fig2 --runs 10 --step 300
+    python -m repro fig5
+    python -m repro list
+
+Each subcommand runs the corresponding experiment at the requested fidelity
+and prints the same rows the paper's figure reports (see EXPERIMENTS.md for
+the reference configuration and measured-vs-paper numbers).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.reporting import Series, Table
+from repro.experiments.common import ExperimentConfig
+
+
+def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig(runs=args.runs, step_s=args.step, seed=args.seed)
+
+
+def _run_fig2(config: ExperimentConfig) -> None:
+    from repro.experiments.fig2_coverage_vs_size import DEFAULT_SIZES, run_fig2
+
+    result = run_fig2(config, sizes=DEFAULT_SIZES)
+    table = Table(
+        "Fig. 2: % time without coverage at Taipei (1 week)",
+        ["satellites", "uncovered %", "mean max gap (h)"],
+        precision=2,
+    )
+    for point in result.points:
+        table.add_row(
+            point.satellites,
+            point.mean_uncovered_percent,
+            point.mean_max_gap_s / 3600.0,
+        )
+    table.print()
+
+
+def _run_fig3(config: ExperimentConfig) -> None:
+    from repro.experiments.fig3_idle_vs_cities import run_fig3
+
+    result = run_fig3(config)
+    series = Series(
+        "Fig. 3: satellite idle time vs cities served (1 week)",
+        "cities",
+        "mean idle %",
+        precision=2,
+    )
+    for point in result.points:
+        series.add_point(point.cities, point.mean_idle_percent)
+    series.print()
+
+
+def _run_fig4a(config: ExperimentConfig) -> None:
+    from repro.experiments.fig4a_single_addition import run_fig4a
+
+    result = run_fig4a(config)
+    table = Table(
+        "Fig. 4a: weighted coverage gain from one added satellite",
+        ["base size", "mean gain (h)", "max gain (h)"],
+        precision=3,
+    )
+    for point in result.points:
+        table.add_row(point.base_satellites, point.mean_gain_hours, point.max_gain_hours)
+    table.print()
+
+
+def _run_fig4b(config: ExperimentConfig) -> None:
+    from repro.experiments.fig4b_phase_sweep import run_fig4b
+
+    result = run_fig4b(config)
+    series = Series(
+        "Fig. 4b: coverage gain vs phase offset", "offset (deg)", "gain (h)",
+        precision=3,
+    )
+    for point in result.points:
+        series.add_point(point.phase_offset_deg, point.gain_hours)
+    series.print()
+    print(f"best offset: {result.best_offset_deg():.1f} deg")
+
+
+def _run_fig4c(config: ExperimentConfig) -> None:
+    from repro.experiments.fig4c_design_factors import run_fig4c
+
+    result = run_fig4c(config)
+    table = Table(
+        "Fig. 4c: coverage gain by design factor", ["factor", "gain (min)"],
+        precision=1,
+    )
+    for label, gain in result.ranking():
+        table.add_row(label, gain * 60.0)
+    table.print()
+
+
+def _run_fig5(config: ExperimentConfig) -> None:
+    from repro.experiments.fig5_withdrawal import DEFAULT_SIZES, run_fig5
+
+    result = run_fig5(config, sizes=DEFAULT_SIZES)
+    table = Table(
+        "Fig. 5: coverage loss when half the satellites withdraw",
+        ["L", "loss %", "lost time (h/week)"],
+        precision=2,
+    )
+    for point in result.points:
+        table.add_row(point.satellites, point.mean_reduction_percent, point.mean_lost_hours)
+    table.print()
+
+
+def _run_fig6(config: ExperimentConfig) -> None:
+    from repro.experiments.fig6_party_skew import DEFAULT_SKEWS, run_fig6
+
+    result = run_fig6(config, skews=DEFAULT_SKEWS)
+    table = Table(
+        "Fig. 6: coverage loss when the largest of 11 parties exits",
+        ["skew", "largest party sats", "loss %", "lost (h/week)"],
+        precision=2,
+    )
+    for point in result.points:
+        table.add_row(
+            point.skew,
+            point.largest_party_satellites,
+            point.mean_reduction_percent,
+            point.mean_lost_hours,
+        )
+    table.print()
+
+
+def _run_fig1a(config: ExperimentConfig) -> None:
+    from repro.orbits.elements import OrbitalElements
+    from repro.orbits.groundtrack import (
+        compute_ground_track,
+        nodal_shift_deg_per_orbit,
+    )
+
+    elements = OrbitalElements.from_degrees(altitude_km=546.0, inclination_deg=53.0)
+    track = compute_ground_track(elements, 3 * 3600.0, step_s=min(config.step_s, 30.0))
+    table = Table(
+        "Fig. 1a: 3-hour ground track of one 53 deg / 546 km satellite",
+        ["metric", "value"],
+        precision=2,
+    )
+    table.add_row("orbital period (min)", elements.period_s / 60.0)
+    table.add_row("max |latitude| (deg)", track.max_latitude_deg)
+    table.add_row("westward node shift per orbit (deg)",
+                  nodal_shift_deg_per_orbit(elements))
+    table.print()
+
+
+def _run_sharing(config: ExperimentConfig) -> None:
+    from repro.experiments.sharing_upside import run_sharing_upside
+
+    result = run_sharing_upside(config)
+    upside = result.upside
+    table = Table(
+        "Sec. 2 claim: the MP-LEO sharing upside", ["metric", "value"],
+        precision=3,
+    )
+    table.add_row("alone coverage (50 sats)", upside.alone_coverage_fraction)
+    table.add_row("shared coverage (1000 sats)", upside.shared_coverage_fraction)
+    table.add_row("equivalent go-it-alone sats", upside.equivalent_alone_satellites)
+    table.add_row("satellite multiplier", upside.satellite_multiplier)
+    table.print()
+
+
+EXPERIMENTS: Dict[str, Callable[[ExperimentConfig], None]] = {
+    "fig1a": _run_fig1a,
+    "fig2": _run_fig2,
+    "fig3": _run_fig3,
+    "fig4a": _run_fig4a,
+    "fig4b": _run_fig4b,
+    "fig4c": _run_fig4c,
+    "fig5": _run_fig5,
+    "fig6": _run_fig6,
+    "sharing": _run_sharing,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate figures from 'A Call for Decentralized "
+        "Satellite Networks' (HotNets '24).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available experiments")
+
+    for name in EXPERIMENTS:
+        sub = subparsers.add_parser(name, help=f"run the {name} experiment")
+        sub.add_argument(
+            "--runs", type=int, default=10,
+            help="Monte-Carlo runs per point (default: 10; paper: 100)",
+        )
+        sub.add_argument(
+            "--step", type=float, default=300.0,
+            help="time step in seconds (default: 300)",
+        )
+        sub.add_argument(
+            "--seed", type=int, default=2024, help="random seed (default: 2024)"
+        )
+
+    all_sub = subparsers.add_parser("all", help="run every experiment")
+    all_sub.add_argument("--runs", type=int, default=10)
+    all_sub.add_argument("--step", type=float, default=300.0)
+    all_sub.add_argument("--seed", type=int, default=2024)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+
+    if args.command == "all":
+        config = _config_from_args(args)
+        for name, runner in EXPERIMENTS.items():
+            print(f"\n### {name} ###")
+            runner(config)
+        return 0
+
+    EXPERIMENTS[args.command](_config_from_args(args))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,106 @@
+"""Design-space perturbation helpers for the Fig. 4 experiments.
+
+The paper studies three knobs a new MP-LEO participant can turn when adding a
+satellite to an existing constellation:
+
+* **Phase** — same plane, shifted mean anomaly (Fig. 4b sweeps 29 positions
+  between two satellites of a 12-satellite plane).
+* **Altitude** — same plane and phase, different height (so a different
+  period: the satellite drifts relative to the plane).
+* **Inclination** — a different plane geometry entirely (Fig. 4c finds this
+  gives the largest coverage gain).
+
+These helpers construct the candidate satellites for those experiments.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.constellation.satellite import Constellation, Satellite
+from repro.constellation.walker import single_plane
+from repro.orbits.elements import OrbitalElements
+
+#: Parameters of the paper's imaginary Fig. 4b constellation.
+FIG4B_INCLINATION_DEG = 53.0
+FIG4B_ALTITUDE_KM = 546.0
+FIG4B_SATELLITE_COUNT = 12
+
+
+def fig4b_base_constellation() -> Constellation:
+    """The paper's Fig. 4b base: 12 satellites 30 degrees apart in one plane."""
+    elements = single_plane(
+        FIG4B_SATELLITE_COUNT, FIG4B_INCLINATION_DEG, FIG4B_ALTITUDE_KM
+    )
+    return Constellation(
+        [
+            Satellite(sat_id=f"BASE-{index:02d}", elements=element)
+            for index, element in enumerate(elements)
+        ],
+        name="fig4b-base",
+    )
+
+
+def phase_sweep_candidates(
+    base: OrbitalElements,
+    gap_deg: float = 30.0,
+    positions: int = 29,
+) -> List[Satellite]:
+    """Candidate satellites between two base satellites, spaced ~1 degree apart.
+
+    The paper adds a satellite at 29 locations between two satellites that
+    are 30 degrees apart in phase, i.e. at offsets of 1..29 degrees from the
+    first of the pair.
+    """
+    if positions <= 0:
+        raise ValueError(f"positions must be positive, got {positions}")
+    step = gap_deg / (positions + 1)
+    return [
+        Satellite(
+            sat_id=f"CAND-PHASE-{index:02d}",
+            elements=base.with_phase_shift(step * (index + 1)),
+            name=f"phase+{step * (index + 1):.1f}deg",
+        )
+        for index in range(positions)
+    ]
+
+
+def fig4c_base_constellation() -> Constellation:
+    """The paper's Fig. 4c base: 4 satellites 90 degrees apart, 53 deg, 546 km."""
+    elements = single_plane(4, FIG4B_INCLINATION_DEG, FIG4B_ALTITUDE_KM)
+    return Constellation(
+        [
+            Satellite(sat_id=f"BASE4-{index}", elements=element)
+            for index, element in enumerate(elements)
+        ],
+        name="fig4c-base",
+    )
+
+
+def inclination_variant(
+    base: OrbitalElements, inclination_deg: float = 43.0
+) -> Satellite:
+    """Fig. 4c category 1: same plane/phase parameters, different inclination."""
+    return Satellite(
+        sat_id="CAND-INCL",
+        elements=base.with_inclination_deg(inclination_deg),
+        name=f"inclination-{inclination_deg:.0f}deg",
+    )
+
+
+def altitude_variant(base: OrbitalElements, altitude_km: float) -> Satellite:
+    """Fig. 4c category 2: same orbital plane and phase, different altitude."""
+    return Satellite(
+        sat_id="CAND-ALT",
+        elements=base.with_altitude_km(altitude_km),
+        name=f"altitude-{altitude_km:.0f}km",
+    )
+
+
+def phase_variant(base: OrbitalElements, phase_shift_deg: float) -> Satellite:
+    """Fig. 4c category 3: same orbital plane, different phase."""
+    return Satellite(
+        sat_id="CAND-PHASE",
+        elements=base.with_phase_shift(phase_shift_deg),
+        name=f"phase+{phase_shift_deg:.0f}deg",
+    )

@@ -1,0 +1,138 @@
+"""Constellation serialization: JSON and TLE interchange.
+
+Two formats:
+
+* **JSON** — the library's native round-trip format, preserving party
+  ownership and capacity (which TLEs cannot carry).
+* **TLE** — the ecosystem interchange format (CosmicBeats, celestrak
+  tooling); export drops MP-LEO metadata, import assigns defaults.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, List
+
+from repro.constellation.satellite import Constellation, Satellite
+from repro.orbits.elements import OrbitalElements
+from repro.orbits.tle import TLE, format_tle_file, parse_tle_file
+
+#: Schema version written into JSON exports.
+SCHEMA_VERSION = 1
+
+
+def satellite_to_dict(satellite: Satellite) -> Dict[str, Any]:
+    """Serialize one satellite to plain JSON-compatible types."""
+    elements = satellite.elements
+    return {
+        "sat_id": satellite.sat_id,
+        "name": satellite.name,
+        "party": satellite.party,
+        "capacity_mbps": satellite.capacity_mbps,
+        "elements": {
+            "semi_major_axis_m": elements.semi_major_axis_m,
+            "eccentricity": elements.eccentricity,
+            "inclination_deg": elements.inclination_deg,
+            "raan_deg": elements.raan_deg,
+            "arg_perigee_deg": math.degrees(elements.arg_perigee_rad),
+            "mean_anomaly_deg": elements.mean_anomaly_deg,
+            "epoch_s": elements.epoch_s,
+        },
+    }
+
+
+def satellite_from_dict(data: Dict[str, Any]) -> Satellite:
+    """Deserialize one satellite.
+
+    Raises:
+        KeyError: On missing required fields.
+    """
+    element_data = data["elements"]
+    elements = OrbitalElements(
+        semi_major_axis_m=float(element_data["semi_major_axis_m"]),
+        eccentricity=float(element_data["eccentricity"]),
+        inclination_rad=math.radians(float(element_data["inclination_deg"])),
+        raan_rad=math.radians(float(element_data["raan_deg"]) % 360.0),
+        arg_perigee_rad=math.radians(
+            float(element_data["arg_perigee_deg"]) % 360.0
+        ),
+        mean_anomaly_rad=math.radians(
+            float(element_data["mean_anomaly_deg"]) % 360.0
+        ),
+        epoch_s=float(element_data.get("epoch_s", 0.0)),
+    )
+    return Satellite(
+        sat_id=data["sat_id"],
+        elements=elements,
+        name=data.get("name", ""),
+        party=data.get("party", "unassigned"),
+        capacity_mbps=float(data.get("capacity_mbps", 1000.0)),
+    )
+
+
+def to_json(constellation: Constellation, indent: int = 2) -> str:
+    """Serialize a constellation to a JSON string."""
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "name": constellation.name,
+        "satellites": [
+            satellite_to_dict(satellite) for satellite in constellation
+        ],
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def from_json(text: str) -> Constellation:
+    """Deserialize a constellation from a JSON string.
+
+    Raises:
+        ValueError: On unknown schema versions or malformed JSON.
+    """
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ValueError(f"malformed constellation JSON: {error}") from error
+    version = payload.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported schema version {version!r} (expected {SCHEMA_VERSION})"
+        )
+    return Constellation(
+        [satellite_from_dict(entry) for entry in payload["satellites"]],
+        name=payload.get("name", ""),
+    )
+
+
+def to_tle_text(constellation: Constellation, epoch_year: int = 2024) -> str:
+    """Export a constellation as 3-line TLE text.
+
+    Satellite numbers are assigned sequentially; MP-LEO metadata (party,
+    capacity) is not representable in TLEs and is dropped.
+    """
+    tles = [
+        TLE.from_elements(
+            satellite.elements,
+            name=satellite.name or satellite.sat_id,
+            satellite_number=index + 1,
+            epoch_year=epoch_year,
+        )
+        for index, satellite in enumerate(constellation)
+    ]
+    return format_tle_file(tles)
+
+
+def from_tle_text(text: str, party: str = "unassigned") -> Constellation:
+    """Import a constellation from TLE text (3-line or bare 2-line)."""
+    satellites: List[Satellite] = []
+    for index, tle in enumerate(parse_tle_file(text)):
+        sat_id = tle.name or f"TLE-{tle.satellite_number:05d}"
+        satellites.append(
+            Satellite(
+                sat_id=sat_id,
+                elements=tle.to_elements(),
+                name=tle.name,
+                party=party,
+            )
+        )
+    return Constellation(satellites, name="tle-import")

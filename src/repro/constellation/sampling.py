@@ -1,0 +1,76 @@
+"""Random subset sampling of constellations.
+
+The paper's Monte-Carlo methodology: "In each run, we randomly sample
+satellites from the Starlink network."  These helpers sample without
+replacement with a seeded :class:`numpy.random.Generator`, so experiments are
+reproducible and independent runs differ only in their seed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.constellation.satellite import Constellation
+from repro.orbits.elements import OrbitalElements
+
+
+def sample_constellation(
+    source: Constellation,
+    count: int,
+    rng: np.random.Generator,
+    name: str = "",
+) -> Constellation:
+    """Sample ``count`` satellites from ``source`` without replacement.
+
+    Args:
+        source: Constellation to draw from.
+        count: Number of satellites to sample (<= len(source)).
+        rng: Seeded random generator.
+        name: Name for the sampled constellation.
+
+    Raises:
+        ValueError: If ``count`` exceeds the source size or is negative.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if count > len(source):
+        raise ValueError(
+            f"cannot sample {count} satellites from a constellation of {len(source)}"
+        )
+    indices = rng.choice(len(source), size=count, replace=False)
+    return source.take(np.sort(indices), name=name or f"sample-{count}")
+
+
+def sample_elements(
+    source: Constellation,
+    count: int,
+    rng: np.random.Generator,
+) -> List[OrbitalElements]:
+    """Like :func:`sample_constellation` but returning bare orbital elements."""
+    return sample_constellation(source, count, rng).elements
+
+
+def split_randomly(
+    source: Constellation,
+    fraction: float,
+    rng: np.random.Generator,
+) -> tuple:
+    """Split a constellation into two random disjoint parts.
+
+    Returns:
+        (kept, withdrawn) where ``withdrawn`` holds ``round(fraction * N)``
+        satellites — the paper's Fig. 5 withdrawal model with fraction 0.5.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    total = len(source)
+    withdraw_count = int(round(fraction * total))
+    permutation = rng.permutation(total)
+    withdrawn_indices = np.sort(permutation[:withdraw_count])
+    kept_indices = np.sort(permutation[withdraw_count:])
+    return (
+        source.take(kept_indices, name=f"{source.name}-kept"),
+        source.take(withdrawn_indices, name=f"{source.name}-withdrawn"),
+    )

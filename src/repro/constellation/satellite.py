@@ -1,0 +1,190 @@
+"""Satellite and constellation records.
+
+A :class:`Satellite` is an orbit plus an identity: a stable id, an optional
+human-readable name, the owning party (for MP-LEO experiments) and a nominal
+link capacity.  A :class:`Constellation` is an ordered, immutable collection
+of satellites with convenience accessors used throughout the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.orbits.elements import OrbitalElements
+
+#: Party name used for satellites that have not been assigned to any MP-LEO
+#: participant.
+UNASSIGNED_PARTY = "unassigned"
+
+
+@dataclass(frozen=True)
+class Satellite:
+    """One satellite: orbit + identity + ownership.
+
+    Attributes:
+        sat_id: Stable unique identifier within a constellation.
+        elements: Orbital elements at the constellation epoch.
+        name: Optional human-readable name.
+        party: Owning MP-LEO participant (``UNASSIGNED_PARTY`` if none).
+        capacity_mbps: Nominal user-link capacity the satellite can relay.
+    """
+
+    sat_id: str
+    elements: OrbitalElements
+    name: str = ""
+    party: str = UNASSIGNED_PARTY
+    capacity_mbps: float = 1000.0
+
+    def owned_by(self, party: str) -> "Satellite":
+        """Return a copy of this satellite assigned to ``party``."""
+        return replace(self, party=party)
+
+
+class Constellation:
+    """An immutable ordered collection of satellites.
+
+    Provides set-like composition operators used heavily by the MP-LEO
+    experiments (union for adding contributions, difference for withdrawal).
+    """
+
+    def __init__(self, satellites: Iterable[Satellite], name: str = "") -> None:
+        self._satellites: Tuple[Satellite, ...] = tuple(satellites)
+        self.name = name
+        seen: Dict[str, int] = {}
+        for index, satellite in enumerate(self._satellites):
+            if satellite.sat_id in seen:
+                raise ValueError(
+                    f"duplicate satellite id {satellite.sat_id!r} at positions "
+                    f"{seen[satellite.sat_id]} and {index}"
+                )
+            seen[satellite.sat_id] = index
+        self._index_by_id = seen
+
+    def __len__(self) -> int:
+        return len(self._satellites)
+
+    def __iter__(self) -> Iterator[Satellite]:
+        return iter(self._satellites)
+
+    def __getitem__(self, index: int) -> Satellite:
+        return self._satellites[index]
+
+    def __contains__(self, sat_id: str) -> bool:
+        return sat_id in self._index_by_id
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return f"<Constellation{label}: {len(self)} satellites>"
+
+    @property
+    def satellites(self) -> Tuple[Satellite, ...]:
+        return self._satellites
+
+    @property
+    def elements(self) -> List[OrbitalElements]:
+        """Orbital elements of every satellite, in order."""
+        return [satellite.elements for satellite in self._satellites]
+
+    @property
+    def parties(self) -> List[str]:
+        """Sorted distinct party names present in the constellation."""
+        return sorted({satellite.party for satellite in self._satellites})
+
+    def get(self, sat_id: str) -> Satellite:
+        """Look a satellite up by id.
+
+        Raises:
+            KeyError: If the id is not present.
+        """
+        return self._satellites[self._index_by_id[sat_id]]
+
+    def filter(self, predicate: Callable[[Satellite], bool], name: str = "") -> "Constellation":
+        """Return the sub-constellation of satellites matching ``predicate``."""
+        return Constellation(
+            (satellite for satellite in self._satellites if predicate(satellite)),
+            name=name or self.name,
+        )
+
+    def by_party(self, party: str) -> "Constellation":
+        """Return the sub-constellation owned by one party."""
+        return self.filter(lambda satellite: satellite.party == party, name=party)
+
+    def without_party(self, party: str) -> "Constellation":
+        """Return the constellation after one party withdraws its satellites."""
+        return self.filter(
+            lambda satellite: satellite.party != party,
+            name=f"{self.name}-minus-{party}" if self.name else f"minus-{party}",
+        )
+
+    def party_counts(self) -> Dict[str, int]:
+        """Map party name -> number of contributed satellites."""
+        counts: Dict[str, int] = {}
+        for satellite in self._satellites:
+            counts[satellite.party] = counts.get(satellite.party, 0) + 1
+        return counts
+
+    def union(self, other: "Constellation", name: str = "") -> "Constellation":
+        """Combine two constellations (ids must not collide)."""
+        return Constellation(
+            list(self._satellites) + list(other._satellites),
+            name=name or self.name,
+        )
+
+    def add(self, satellite: Satellite) -> "Constellation":
+        """Return a new constellation with one extra satellite."""
+        return Constellation(list(self._satellites) + [satellite], name=self.name)
+
+    def remove_ids(self, sat_ids: Iterable[str]) -> "Constellation":
+        """Return a new constellation with the given satellite ids removed."""
+        removal = set(sat_ids)
+        missing = removal - set(self._index_by_id)
+        if missing:
+            raise KeyError(f"unknown satellite ids: {sorted(missing)}")
+        return self.filter(lambda satellite: satellite.sat_id not in removal)
+
+    def take(self, indices: Sequence[int], name: str = "") -> "Constellation":
+        """Return the sub-constellation at the given positional indices."""
+        return Constellation(
+            [self._satellites[int(index)] for index in indices],
+            name=name or self.name,
+        )
+
+    def assign_parties(
+        self, party_of: Callable[[int, Satellite], str]
+    ) -> "Constellation":
+        """Return a copy with party ownership computed per satellite.
+
+        Args:
+            party_of: Callback ``(index, satellite) -> party name``.
+        """
+        return Constellation(
+            (
+                satellite.owned_by(party_of(index, satellite))
+                for index, satellite in enumerate(self._satellites)
+            ),
+            name=self.name,
+        )
+
+
+def from_elements(
+    elements: Iterable[OrbitalElements],
+    prefix: str = "SAT",
+    name: str = "",
+    party: str = UNASSIGNED_PARTY,
+    capacity_mbps: float = 1000.0,
+) -> Constellation:
+    """Wrap bare orbital elements into a constellation with generated ids."""
+    satellites = [
+        Satellite(
+            sat_id=f"{prefix}-{index:05d}",
+            elements=element,
+            name=f"{prefix}-{index:05d}",
+            party=party,
+            capacity_mbps=capacity_mbps,
+        )
+        for index, element in enumerate(elements)
+    ]
+    return Constellation(satellites, name=name)

@@ -1,0 +1,175 @@
+"""Synthetic megaconstellation shells.
+
+The paper samples satellites from the live Starlink TLE catalog.  Offline we
+substitute synthetic shells built from the operators' *public FCC filing*
+parameters; the experiments only depend on the constellation's statistical
+geometry (inclination mix, altitude, plane/phase spread), which these
+parameters define (see DESIGN.md substitution table).
+
+Shell parameters:
+
+* **Starlink Gen1** (FCC SAT-MOD-20200417-00037): 1584 sats at 550 km/53.0°
+  (72 planes), 1584 at 540 km/53.2° (72 planes), 720 at 570 km/70°,
+  348 at 560 km/97.6° and 172 at 560 km/97.6°.
+* **Kuiper** (FCC-20-102): 1156 at 630 km/51.9°, 1296 at 610 km/42°,
+  784 at 590 km/33°.
+* **OneWeb** phase 1: 588 at 1200 km/87.9° (Walker star).
+
+To avoid the perfectly regular lattice artifacts of ideal Walker patterns
+(real catalogs contain spares, drift, and partially filled planes),
+:func:`build_shell` can jitter RAAN and phase with a seeded RNG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.constellation.satellite import Constellation, Satellite
+from repro.orbits.elements import OrbitalElements
+from repro.constellation.walker import walker_delta, walker_star
+
+
+@dataclass(frozen=True)
+class ShellSpec:
+    """Parameters of one constellation shell (a Walker pattern)."""
+
+    name: str
+    total_satellites: int
+    planes: int
+    phasing_factor: int
+    inclination_deg: float
+    altitude_km: float
+    star: bool = False  # Walker star (polar) vs Walker delta.
+
+
+STARLINK_SHELLS: Sequence[ShellSpec] = (
+    ShellSpec("starlink-53.0", 1584, 72, 17, 53.0, 550.0),
+    ShellSpec("starlink-53.2", 1584, 72, 17, 53.2, 540.0),
+    ShellSpec("starlink-70.0", 720, 36, 11, 70.0, 570.0),
+    ShellSpec("starlink-97.6-a", 348, 6, 1, 97.6, 560.0),
+    ShellSpec("starlink-97.6-b", 172, 4, 1, 97.6, 560.0),
+)
+
+KUIPER_SHELLS: Sequence[ShellSpec] = (
+    ShellSpec("kuiper-51.9", 1156, 34, 1, 51.9, 630.0),
+    ShellSpec("kuiper-42.0", 1296, 36, 1, 42.0, 610.0),
+    ShellSpec("kuiper-33.0", 784, 28, 1, 33.0, 590.0),
+)
+
+ONEWEB_SHELLS: Sequence[ShellSpec] = (
+    ShellSpec("oneweb-87.9", 588, 12, 1, 87.9, 1200.0, star=True),
+)
+
+
+def build_shell(
+    spec: ShellSpec,
+    rng: Optional[np.random.Generator] = None,
+    raan_jitter_deg: float = 0.0,
+    phase_jitter_deg: float = 0.0,
+) -> List[OrbitalElements]:
+    """Generate the orbital elements of one shell.
+
+    Args:
+        spec: Shell parameters.
+        rng: Seeded random generator; required when jitter is requested.
+        raan_jitter_deg: Std-dev of Gaussian jitter applied per satellite to
+            the ascending node.
+        phase_jitter_deg: Std-dev of Gaussian jitter applied per satellite to
+            the mean anomaly.
+
+    Returns:
+        ``spec.total_satellites`` orbital elements.
+    """
+    generator = walker_star if spec.star else walker_delta
+    elements = generator(
+        spec.total_satellites,
+        spec.planes,
+        spec.phasing_factor,
+        spec.inclination_deg,
+        spec.altitude_km,
+    )
+    if raan_jitter_deg == 0.0 and phase_jitter_deg == 0.0:
+        return elements
+    if rng is None:
+        raise ValueError("jitter requested but no rng provided")
+    jittered: List[OrbitalElements] = []
+    for element in elements:
+        raan_delta = float(rng.normal(0.0, raan_jitter_deg)) if raan_jitter_deg else 0.0
+        phase_delta = (
+            float(rng.normal(0.0, phase_jitter_deg)) if phase_jitter_deg else 0.0
+        )
+        jittered.append(
+            element.with_raan_deg(element.raan_deg + raan_delta).with_phase_shift(
+                phase_delta
+            )
+        )
+    return jittered
+
+
+def _build_constellation(
+    shells: Sequence[ShellSpec],
+    name: str,
+    prefix: str,
+    rng: Optional[np.random.Generator],
+    raan_jitter_deg: float,
+    phase_jitter_deg: float,
+) -> Constellation:
+    satellites: List[Satellite] = []
+    for shell in shells:
+        elements = build_shell(
+            shell,
+            rng=rng,
+            raan_jitter_deg=raan_jitter_deg,
+            phase_jitter_deg=phase_jitter_deg,
+        )
+        for index, element in enumerate(elements):
+            sat_id = f"{prefix}-{shell.name}-{index:04d}"
+            satellites.append(Satellite(sat_id=sat_id, elements=element, name=sat_id))
+    return Constellation(satellites, name=name)
+
+
+def starlink_like_constellation(
+    rng: Optional[np.random.Generator] = None,
+    raan_jitter_deg: float = 1.0,
+    phase_jitter_deg: float = 2.0,
+) -> Constellation:
+    """Build the full synthetic Starlink Gen1 constellation (4408 satellites).
+
+    With the default jitter, satellites deviate slightly from the ideal
+    Walker lattice, mimicking the dispersion of the live catalog.  Pass
+    ``rng=None`` with zero jitter for the ideal lattice.
+    """
+    if rng is None and (raan_jitter_deg or phase_jitter_deg):
+        rng = np.random.default_rng(0)
+    return _build_constellation(
+        STARLINK_SHELLS, "starlink-like", "STL", rng, raan_jitter_deg, phase_jitter_deg
+    )
+
+
+def kuiper_like_constellation(
+    rng: Optional[np.random.Generator] = None,
+    raan_jitter_deg: float = 1.0,
+    phase_jitter_deg: float = 2.0,
+) -> Constellation:
+    """Build the synthetic Kuiper constellation (3236 satellites)."""
+    if rng is None and (raan_jitter_deg or phase_jitter_deg):
+        rng = np.random.default_rng(1)
+    return _build_constellation(
+        KUIPER_SHELLS, "kuiper-like", "KPR", rng, raan_jitter_deg, phase_jitter_deg
+    )
+
+
+def oneweb_like_constellation(
+    rng: Optional[np.random.Generator] = None,
+    raan_jitter_deg: float = 0.5,
+    phase_jitter_deg: float = 1.0,
+) -> Constellation:
+    """Build the synthetic OneWeb phase-1 constellation (588 satellites)."""
+    if rng is None and (raan_jitter_deg or phase_jitter_deg):
+        rng = np.random.default_rng(2)
+    return _build_constellation(
+        ONEWEB_SHELLS, "oneweb-like", "OWB", rng, raan_jitter_deg, phase_jitter_deg
+    )

@@ -1,0 +1,144 @@
+"""Walker constellation pattern generators.
+
+A Walker pattern ``i: T/P/F`` places ``T`` satellites in ``P`` equally spaced
+orbital planes at inclination ``i``, with ``T/P`` satellites per plane and an
+inter-plane phase offset controlled by the phasing factor ``F``
+(0 <= F < P).  Two flavours are standard:
+
+* **Walker delta**: ascending nodes spread over the full 360 degrees — the
+  pattern used by Starlink's inclined shells.
+* **Walker star**: ascending nodes spread over 180 degrees — the pattern used
+  by polar constellations such as Iridium and OneWeb.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.orbits.elements import OrbitalElements
+
+
+def _walker(
+    *,
+    total_satellites: int,
+    planes: int,
+    phasing_factor: int,
+    inclination_deg: float,
+    altitude_km: float,
+    node_spread_deg: float,
+    raan_offset_deg: float,
+    phase_offset_deg: float,
+    eccentricity: float,
+) -> List[OrbitalElements]:
+    if total_satellites <= 0:
+        raise ValueError(f"total_satellites must be positive, got {total_satellites}")
+    if planes <= 0:
+        raise ValueError(f"planes must be positive, got {planes}")
+    if total_satellites % planes != 0:
+        raise ValueError(
+            f"total_satellites ({total_satellites}) must divide evenly into "
+            f"planes ({planes})"
+        )
+    if not 0 <= phasing_factor < planes:
+        raise ValueError(
+            f"phasing_factor must be in [0, planes), got {phasing_factor}"
+        )
+    per_plane = total_satellites // planes
+    elements: List[OrbitalElements] = []
+    for plane in range(planes):
+        raan_deg = raan_offset_deg + node_spread_deg * plane / planes
+        for slot in range(per_plane):
+            mean_anomaly_deg = (
+                phase_offset_deg
+                + 360.0 * slot / per_plane
+                + 360.0 * phasing_factor * plane / total_satellites
+            )
+            elements.append(
+                OrbitalElements.from_degrees(
+                    altitude_km=altitude_km,
+                    inclination_deg=inclination_deg,
+                    raan_deg=raan_deg % 360.0,
+                    mean_anomaly_deg=mean_anomaly_deg % 360.0,
+                    eccentricity=eccentricity,
+                )
+            )
+    return elements
+
+
+def walker_delta(
+    total_satellites: int,
+    planes: int,
+    phasing_factor: int,
+    inclination_deg: float,
+    altitude_km: float,
+    raan_offset_deg: float = 0.0,
+    phase_offset_deg: float = 0.0,
+    eccentricity: float = 0.0,
+) -> List[OrbitalElements]:
+    """Generate a Walker delta pattern (nodes spread over 360 degrees).
+
+    Example — one Starlink-like shell:
+        >>> shell = walker_delta(1584, 72, 1, inclination_deg=53.0, altitude_km=550.0)
+        >>> len(shell)
+        1584
+    """
+    return _walker(
+        total_satellites=total_satellites,
+        planes=planes,
+        phasing_factor=phasing_factor,
+        inclination_deg=inclination_deg,
+        altitude_km=altitude_km,
+        node_spread_deg=360.0,
+        raan_offset_deg=raan_offset_deg,
+        phase_offset_deg=phase_offset_deg,
+        eccentricity=eccentricity,
+    )
+
+
+def walker_star(
+    total_satellites: int,
+    planes: int,
+    phasing_factor: int,
+    inclination_deg: float,
+    altitude_km: float,
+    raan_offset_deg: float = 0.0,
+    phase_offset_deg: float = 0.0,
+    eccentricity: float = 0.0,
+) -> List[OrbitalElements]:
+    """Generate a Walker star pattern (nodes spread over 180 degrees)."""
+    return _walker(
+        total_satellites=total_satellites,
+        planes=planes,
+        phasing_factor=phasing_factor,
+        inclination_deg=inclination_deg,
+        altitude_km=altitude_km,
+        node_spread_deg=180.0,
+        raan_offset_deg=raan_offset_deg,
+        phase_offset_deg=phase_offset_deg,
+        eccentricity=eccentricity,
+    )
+
+
+def single_plane(
+    count: int,
+    inclination_deg: float,
+    altitude_km: float,
+    raan_deg: float = 0.0,
+    phase_offset_deg: float = 0.0,
+) -> List[OrbitalElements]:
+    """Place ``count`` satellites evenly around one orbital plane.
+
+    This is the geometry of the paper's Fig. 4b experiment (12 satellites,
+    30 degrees apart, 53 degree inclination at 546 km).
+    """
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    return [
+        OrbitalElements.from_degrees(
+            altitude_km=altitude_km,
+            inclination_deg=inclination_deg,
+            raan_deg=raan_deg,
+            mean_anomaly_deg=(phase_offset_deg + 360.0 * slot / count) % 360.0,
+        )
+        for slot in range(count)
+    ]

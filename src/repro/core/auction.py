@@ -1,0 +1,186 @@
+"""Double-auction market clearing (§4's market-design open question).
+
+"How much should satellite operators charge for data access? ... How do
+users choose between competing satellites after the deployment reaches
+complete coverage?  These game theoretic explorations of market design are
+interesting open questions."
+
+This module implements the textbook answer for a spot capacity market: a
+uniform-price sealed-bid **k-double auction**.  Buyers (consumer parties)
+submit bids, sellers (satellite operators with spare capacity) submit asks;
+the market crosses the sorted curves, trades the efficient quantity, and
+clears everyone at one price between the marginal bid and ask.
+
+Properties the tests verify: the clearing price lies between the marginal
+ask and bid, trades are individually rational (no buyer pays above its bid,
+no seller receives below its ask), and the traded quantity maximizes
+surplus for uniform pricing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Bid:
+    """A buyer's demand: up to ``quantity`` at up to ``price`` per unit."""
+
+    party: str
+    quantity: float
+    price: float
+
+    def __post_init__(self) -> None:
+        if self.quantity <= 0.0:
+            raise ValueError(f"quantity must be positive, got {self.quantity}")
+        if self.price < 0.0:
+            raise ValueError(f"price must be non-negative, got {self.price}")
+
+
+@dataclass(frozen=True)
+class Ask:
+    """A seller's offer: up to ``quantity`` at no less than ``price``."""
+
+    party: str
+    quantity: float
+    price: float
+
+    def __post_init__(self) -> None:
+        if self.quantity <= 0.0:
+            raise ValueError(f"quantity must be positive, got {self.quantity}")
+        if self.price < 0.0:
+            raise ValueError(f"price must be non-negative, got {self.price}")
+
+
+@dataclass(frozen=True)
+class Trade:
+    """One matched buyer-seller allocation at the clearing price."""
+
+    buyer: str
+    seller: str
+    quantity: float
+    price: float
+
+    @property
+    def value(self) -> float:
+        return self.quantity * self.price
+
+
+@dataclass(frozen=True)
+class AuctionResult:
+    """Outcome of one clearing round."""
+
+    clearing_price: Optional[float]
+    traded_quantity: float
+    trades: Tuple[Trade, ...]
+
+    @property
+    def cleared(self) -> bool:
+        return self.clearing_price is not None and self.traded_quantity > 0.0
+
+    def buyer_quantity(self, party: str) -> float:
+        return sum(trade.quantity for trade in self.trades if trade.buyer == party)
+
+    def seller_quantity(self, party: str) -> float:
+        return sum(trade.quantity for trade in self.trades if trade.seller == party)
+
+
+def clear_double_auction(
+    bids: Sequence[Bid],
+    asks: Sequence[Ask],
+    k: float = 0.5,
+) -> AuctionResult:
+    """Run a uniform-price k-double auction.
+
+    Args:
+        bids: Buyer bids (any order).
+        asks: Seller asks (any order).
+        k: Where the clearing price sits between the marginal ask (k=0) and
+            the marginal bid (k=1).  The classic split-the-difference
+            auction uses k=0.5.
+
+    Returns:
+        The clearing result; ``clearing_price`` is None when no bid meets
+        any ask.
+
+    Raises:
+        ValueError: If ``k`` is outside [0, 1].
+    """
+    if not 0.0 <= k <= 1.0:
+        raise ValueError(f"k must be in [0, 1], got {k}")
+    if not bids or not asks:
+        return AuctionResult(None, 0.0, ())
+
+    # Demand curve: bids by descending price; supply: asks ascending.
+    demand = sorted(bids, key=lambda bid: (-bid.price, bid.party))
+    supply = sorted(asks, key=lambda ask: (ask.price, ask.party))
+
+    # One walk over both curves: record matched quanta and the marginal
+    # prices; the uniform price is applied to every match afterwards.
+    # Exhaustion uses an epsilon so float residue never drags a spent order
+    # into a further (price-incompatible) match.
+    epsilon = 1e-12
+    matches: List[Tuple[str, str, float]] = []
+    traded = 0.0
+    marginal_bid = None
+    marginal_ask = None
+    bid_index = ask_index = 0
+    bid_left = demand[0].quantity
+    ask_left = supply[0].quantity
+    while bid_index < len(demand) and ask_index < len(supply):
+        bid = demand[bid_index]
+        ask = supply[ask_index]
+        if bid.price < ask.price:
+            break
+        quantum = min(bid_left, ask_left)
+        if quantum > epsilon:
+            matches.append((bid.party, ask.party, quantum))
+            traded += quantum
+            marginal_bid = bid.price
+            marginal_ask = ask.price
+        bid_left -= quantum
+        ask_left -= quantum
+        if bid_left <= epsilon:
+            bid_index += 1
+            if bid_index < len(demand):
+                bid_left = demand[bid_index].quantity
+        if ask_left <= epsilon:
+            ask_index += 1
+            ask_index_valid = ask_index < len(supply)
+            if ask_index_valid:
+                ask_left = supply[ask_index].quantity
+
+    if traded == 0.0 or marginal_bid is None or marginal_ask is None:
+        return AuctionResult(None, 0.0, ())
+    price = marginal_ask + k * (marginal_bid - marginal_ask)
+
+    trades = tuple(
+        Trade(buyer=buyer, seller=seller, quantity=quantum, price=price)
+        for buyer, seller, quantum in matches
+    )
+    return AuctionResult(
+        clearing_price=price,
+        traded_quantity=traded,
+        trades=trades,
+    )
+
+
+def asks_from_spare_capacity(
+    spare_mbps_by_party: dict,
+    reserve_price: float,
+) -> List[Ask]:
+    """Turn measured spare capacity (e.g. from the engine) into asks.
+
+    Parties with zero spare capacity are omitted.
+
+    Raises:
+        ValueError: On a negative reserve price.
+    """
+    if reserve_price < 0.0:
+        raise ValueError("reserve price must be non-negative")
+    return [
+        Ask(party=party, quantity=spare, price=reserve_price)
+        for party, spare in sorted(spare_mbps_by_party.items())
+        if spare > 0.0
+    ]

@@ -1,0 +1,151 @@
+"""Service-denial auditing (§4's trust question, made executable).
+
+"How do we prevent individual satellite operators from denying service to
+others while continuing to benefit from other satellites?"
+
+The auditor compares what each party's satellites *could* have served
+(visibility is physics and publicly verifiable through proof-of-coverage
+pings) against what they *did* serve (the session log).  A party whose
+satellites are systematically idle while other parties' terminals sit in
+their footprints is denying service — and the measurement gives governance
+an objective slashing trigger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.sim.capacity import spare_capacity_split
+from repro.sim.events import SessionEvent
+
+
+@dataclass(frozen=True)
+class PartyAuditReport:
+    """Audit verdict for one party."""
+
+    party: str
+    opportunity_fraction: float  # Time its sats saw other parties' demand.
+    service_fraction: float  # Time its sats actually served other parties.
+    denial_score: float  # 1 - served/opportunity (0 = fully cooperative).
+    suspicious: bool
+
+
+def _served_fraction_by_party(
+    sessions: Sequence[SessionEvent],
+    satellite_parties: Sequence[str],
+    sat_ids: Sequence[str],
+    horizon_s: float,
+) -> Dict[str, float]:
+    """Mean fraction of the horizon each party's satellites served guests."""
+    served_s: Dict[str, float] = {party: 0.0 for party in set(satellite_parties)}
+    for session in sessions:
+        if session.is_spare_capacity:
+            served_s[session.sat_party] = (
+                served_s.get(session.sat_party, 0.0) + session.duration_s
+            )
+    counts: Dict[str, int] = {}
+    for party in satellite_parties:
+        counts[party] = counts.get(party, 0) + 1
+    return {
+        party: served_s.get(party, 0.0) / (counts[party] * horizon_s)
+        for party in counts
+    }
+
+
+def audit_service_denial(
+    visibility: np.ndarray,
+    terminal_parties: Sequence[str],
+    satellite_parties: Sequence[str],
+    sessions: Sequence[SessionEvent],
+    sat_ids: Sequence[str],
+    horizon_s: float,
+    denial_threshold: float = 0.5,
+    min_opportunity_fraction: float = 0.002,
+) -> List[PartyAuditReport]:
+    """Audit every satellite-owning party for systematic service denial.
+
+    Args:
+        visibility: Boolean (terminals, satellites, T) ground truth.
+        terminal_parties: Owner of each terminal.
+        satellite_parties: Owner of each satellite.
+        sessions: The engine's session log for the same horizon.
+        sat_ids: Satellite ids aligned with the visibility tensor.
+        horizon_s: Length of the audited horizon, seconds.
+        denial_threshold: Denial score above which a party is flagged.
+        min_opportunity_fraction: Parties whose satellites barely saw any
+            foreign demand are not judged (insufficient evidence).  LEO
+            geometry makes opportunity fractions inherently small — one
+            satellite sees any given terminal well under 1% of the time —
+            so the default is 0.2% of the horizon (~3 min/day), enough
+            passes to be statistically meaningful.
+
+    Returns:
+        One report per satellite-owning party, sorted by denial score
+        (worst first).
+
+    Opportunity is measured by :func:`repro.sim.capacity.spare_capacity_split`:
+    the fraction of time a party's satellites had *only* other parties'
+    terminals in their footprints.  That is exactly the time the MP-LEO
+    contract expects them to serve guests, so
+    ``denial = 1 - served / opportunity``.
+    """
+    if horizon_s <= 0.0:
+        raise ValueError("horizon must be positive")
+    if not 0.0 < denial_threshold <= 1.0:
+        raise ValueError("denial threshold must be in (0, 1]")
+
+    ledger = spare_capacity_split(visibility, terminal_parties, satellite_parties)
+    parties = np.array(satellite_parties)
+    served = _served_fraction_by_party(
+        sessions, satellite_parties, sat_ids, horizon_s
+    )
+
+    reports: List[PartyAuditReport] = []
+    for party in sorted(set(satellite_parties)):
+        member = parties == party
+        opportunity = float(ledger.spare_fraction[member].mean())
+        service = served.get(party, 0.0)
+        if opportunity < min_opportunity_fraction:
+            denial = 0.0
+            suspicious = False
+        else:
+            denial = max(0.0, 1.0 - service / opportunity)
+            suspicious = denial > denial_threshold
+        reports.append(
+            PartyAuditReport(
+                party=party,
+                opportunity_fraction=opportunity,
+                service_fraction=service,
+                denial_score=denial,
+                suspicious=suspicious,
+            )
+        )
+    reports.sort(key=lambda report: -report.denial_score)
+    return reports
+
+
+def slashing_amounts(
+    reports: Sequence[PartyAuditReport],
+    stake_by_party: Dict[str, float],
+    slash_rate: float = 0.1,
+) -> Dict[str, float]:
+    """Token amounts to slash from flagged parties.
+
+    Slashing is proportional to both the party's stake and its denial score
+    — the paper's proportionality principle applied punitively.
+
+    Raises:
+        ValueError: On a slash rate outside (0, 1].
+    """
+    if not 0.0 < slash_rate <= 1.0:
+        raise ValueError("slash rate must be in (0, 1]")
+    return {
+        report.party: slash_rate
+        * report.denial_score
+        * stake_by_party.get(report.party, 0.0)
+        for report in reports
+        if report.suspicious
+    }

@@ -1,0 +1,126 @@
+"""Availability planning (§2's five-nines remark).
+
+"In practice, networks aim for five-nine (99.999%) availability, which
+would require even larger constellations."
+
+This module turns a measured coverage-vs-size curve (the Fig. 2 sweep) into
+planning answers: how many satellites buy a given availability, and what a
+party's contribution must be under an MP-LEO sharing ratio.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Conventional availability classes (fraction of time with coverage).
+AVAILABILITY_CLASSES = {
+    "two-nines": 0.99,
+    "three-nines": 0.999,
+    "four-nines": 0.9999,
+    "five-nines": 0.99999,
+}
+
+
+def satellites_for_availability(
+    target: float,
+    coverage_by_count: Sequence[Tuple[int, float]],
+) -> Optional[int]:
+    """Smallest constellation size whose measured coverage meets a target.
+
+    Args:
+        target: Required covered fraction in (0, 1).
+        coverage_by_count: Measured (size, coverage) curve, e.g. from the
+            Fig. 2 experiment.
+
+    Returns:
+        The smallest adequate size, or None if no measured point reaches
+        the target (the planner must extrapolate — see
+        :func:`extrapolate_size_for_availability`).
+
+    Raises:
+        ValueError: On an empty curve or a target outside (0, 1).
+    """
+    if not coverage_by_count:
+        raise ValueError("curve must be non-empty")
+    if not 0.0 < target < 1.0:
+        raise ValueError(f"target must be in (0, 1), got {target}")
+    for size, coverage in sorted(coverage_by_count):
+        if coverage >= target:
+            return size
+    return None
+
+
+def extrapolate_size_for_availability(
+    target: float,
+    coverage_by_count: Sequence[Tuple[int, float]],
+) -> int:
+    """Estimate the size needed for a target beyond the measured curve.
+
+    Models uncovered probability as exponential in constellation size
+    (independent-footprint approximation: P(gap) ~ (1-p)^N), fits the decay
+    rate to the measured tail, and solves for the target.
+
+    Raises:
+        ValueError: If fewer than two points have partial coverage to fit.
+    """
+    measured = satellites_for_availability(target, coverage_by_count)
+    if measured is not None:
+        return measured
+    # Fit log(1 - coverage) = a + b * size on points with 0 < coverage < 1.
+    sizes, gaps = [], []
+    for size, coverage in sorted(coverage_by_count):
+        if 0.0 < coverage < 1.0:
+            sizes.append(float(size))
+            gaps.append(math.log(1.0 - coverage))
+    if len(sizes) < 2:
+        raise ValueError("need at least two partial-coverage points to fit")
+    slope, intercept = np.polyfit(sizes, gaps, 1)
+    if slope >= 0.0:
+        raise ValueError("coverage curve is not improving with size")
+    required = (math.log(1.0 - target) - intercept) / slope
+    return int(math.ceil(required))
+
+
+@dataclass(frozen=True)
+class ContributionPlan:
+    """What an MP-LEO participant must contribute for a coverage target."""
+
+    target_availability: float
+    network_size: int
+    party_count: int
+    contribution_per_party: int
+    go_it_alone_size: int
+
+    @property
+    def cost_reduction_factor(self) -> float:
+        """How much cheaper joining is than going it alone."""
+        if self.contribution_per_party == 0:
+            return float("inf")
+        return self.go_it_alone_size / self.contribution_per_party
+
+
+def mp_leo_contribution_plan(
+    target: float,
+    coverage_by_count: Sequence[Tuple[int, float]],
+    party_count: int,
+) -> ContributionPlan:
+    """Plan an equal-stakes MP-LEO deployment for an availability target.
+
+    Raises:
+        ValueError: On a non-positive party count.
+    """
+    if party_count <= 0:
+        raise ValueError(f"party count must be positive, got {party_count}")
+    network_size = extrapolate_size_for_availability(target, coverage_by_count)
+    per_party = int(math.ceil(network_size / party_count))
+    return ContributionPlan(
+        target_availability=target,
+        network_size=network_size,
+        party_count=party_count,
+        contribution_per_party=per_party,
+        go_it_alone_size=network_size,
+    )

@@ -1,0 +1,145 @@
+"""Bootstrapping sparse MP-LEO deployments (§4).
+
+"Early participants contribute a small number of satellites, which do not
+provide continuous coverage and, hence, find few customers. ... early sparse
+MP-LEO deployments can provide global coverage for delay tolerant
+applications (e.g., IoT and opportunistic high volume transfers) at lower
+unit costs."
+
+This module quantifies what a sparse constellation *can* sell:
+
+* :func:`contact_wait_times_s` — the delay a delay-tolerant message waits at
+  a site for the next satellite pass (the store-and-forward latency).
+* :class:`DelayTolerantService` — checks a sparse constellation against an
+  application's latency tolerance across sites.
+* :func:`early_adopter_issuance` — Helium-style declining token issuance
+  rewarding early contributors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.sim.clock import TimeGrid
+
+
+def contact_wait_times_s(mask: np.ndarray, step_s: float) -> np.ndarray:
+    """Waiting time until the next contact, evaluated at every time step.
+
+    Args:
+        mask: 1-D boolean coverage timeline (True = satellite overhead).
+        step_s: Sample spacing.
+
+    Returns:
+        (T,) array: at each step, seconds until coverage next begins (0 when
+        currently covered).  Steps after the final contact get the wait to
+        the first contact assuming the timeline repeats (orbital motion is
+        periodic at the week scale, so wrap-around is the right model);
+        if there is no contact at all, every entry is ``inf``.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    if mask.ndim != 1:
+        raise ValueError(f"mask must be 1-D, got shape {mask.shape}")
+    total = mask.size
+    if total == 0:
+        raise ValueError("mask must be non-empty")
+    if not mask.any():
+        return np.full(total, np.inf)
+    # Distance to next True, computed by scanning the doubled array backwards.
+    doubled = np.concatenate([mask, mask])
+    wait = np.empty(2 * total, dtype=np.float64)
+    next_contact = np.inf
+    for index in range(2 * total - 1, -1, -1):
+        if doubled[index]:
+            next_contact = 0.0
+        wait[index] = next_contact
+        next_contact += 1.0
+    return wait[:total] * step_s
+
+
+@dataclass(frozen=True)
+class DelayTolerantApp:
+    """An application with a latency tolerance (IoT uplink, bulk transfer)."""
+
+    name: str
+    max_wait_s: float
+
+    def __post_init__(self) -> None:
+        if self.max_wait_s <= 0.0:
+            raise ValueError(f"max wait must be positive, got {self.max_wait_s}")
+
+
+#: Representative delay-tolerant applications.
+IOT_TELEMETRY = DelayTolerantApp("iot-telemetry", max_wait_s=2 * 3600.0)
+BULK_TRANSFER = DelayTolerantApp("bulk-transfer", max_wait_s=12 * 3600.0)
+MESSAGING = DelayTolerantApp("messaging", max_wait_s=15 * 60.0)
+
+
+@dataclass(frozen=True)
+class ServiceFeasibility:
+    """Whether a sparse constellation can serve an app at a site."""
+
+    app: DelayTolerantApp
+    site_name: str
+    mean_wait_s: float
+    p95_wait_s: float
+    max_wait_s: float
+    feasible: bool
+
+
+class DelayTolerantService:
+    """Evaluates delay-tolerant feasibility over per-site coverage masks."""
+
+    def __init__(self, grid: TimeGrid) -> None:
+        self.grid = grid
+
+    def evaluate(
+        self,
+        app: DelayTolerantApp,
+        site_name: str,
+        mask: np.ndarray,
+    ) -> ServiceFeasibility:
+        """Feasible when the 95th-percentile wait is within the app's budget."""
+        waits = contact_wait_times_s(mask, self.grid.step_s)
+        finite = waits[np.isfinite(waits)]
+        if finite.size == 0:
+            return ServiceFeasibility(
+                app=app,
+                site_name=site_name,
+                mean_wait_s=float("inf"),
+                p95_wait_s=float("inf"),
+                max_wait_s=float("inf"),
+                feasible=False,
+            )
+        p95 = float(np.percentile(finite, 95))
+        return ServiceFeasibility(
+            app=app,
+            site_name=site_name,
+            mean_wait_s=float(finite.mean()),
+            p95_wait_s=p95,
+            max_wait_s=float(finite.max()),
+            feasible=p95 <= app.max_wait_s,
+        )
+
+
+def early_adopter_issuance(
+    epoch: int, initial_issuance: float = 1000.0, halving_epochs: int = 52
+) -> float:
+    """Declining per-epoch token issuance rewarding early participation.
+
+    Halves every ``halving_epochs`` epochs (the Helium/Bitcoin pattern the
+    paper's token discussion points at).
+
+    Raises:
+        ValueError: On negative epoch or non-positive parameters.
+    """
+    if epoch < 0:
+        raise ValueError(f"epoch must be non-negative, got {epoch}")
+    if initial_issuance <= 0.0:
+        raise ValueError("initial issuance must be positive")
+    if halving_epochs <= 0:
+        raise ValueError("halving period must be positive")
+    return initial_issuance / (2.0 ** (epoch // halving_epochs))

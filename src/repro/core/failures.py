@@ -1,0 +1,139 @@
+"""Satellite failures (§3.4: "How do we deal with satellite failures?").
+
+Models a constellation's attrition over time: each satellite fails
+independently after an exponentially distributed lifetime (the standard
+reliability model for electronics-dominated failures), and the constellation
+owner replenishes on a launch cadence.  Coverage impact reuses the same
+machinery as the withdrawal analysis — a failure is just an involuntary,
+party-agnostic withdrawal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.constellation.satellite import Constellation
+
+
+@dataclass(frozen=True)
+class FailureModel:
+    """Independent exponential lifetimes with optional infant mortality.
+
+    Attributes:
+        mean_lifetime_years: Mean time to failure of a healthy satellite.
+        infant_mortality_prob: Probability a satellite fails immediately
+            after deployment (launch/commissioning losses; Starlink's early
+            shells saw ~2-3%).
+    """
+
+    mean_lifetime_years: float = 5.0
+    infant_mortality_prob: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.mean_lifetime_years <= 0.0:
+            raise ValueError("mean lifetime must be positive")
+        if not 0.0 <= self.infant_mortality_prob < 1.0:
+            raise ValueError("infant mortality must be in [0, 1)")
+
+    def sample_lifetimes_years(
+        self, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Draw failure times (years since deployment) for ``count`` satellites."""
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        lifetimes = rng.exponential(self.mean_lifetime_years, size=count)
+        dead_on_arrival = rng.random(count) < self.infant_mortality_prob
+        lifetimes[dead_on_arrival] = 0.0
+        return lifetimes
+
+    def surviving_fraction(self, age_years: float) -> float:
+        """Expected fraction of a cohort still alive at a given age."""
+        if age_years < 0.0:
+            raise ValueError("age must be non-negative")
+        return (1.0 - self.infant_mortality_prob) * float(
+            np.exp(-age_years / self.mean_lifetime_years)
+        )
+
+
+@dataclass(frozen=True)
+class AttritionPoint:
+    """Constellation state at one epoch of an attrition simulation."""
+
+    years: float
+    alive: int
+    alive_indices: np.ndarray
+
+
+def simulate_attrition(
+    constellation: Constellation,
+    model: FailureModel,
+    rng: np.random.Generator,
+    horizon_years: float = 5.0,
+    epochs: int = 11,
+    replenish_per_year: int = 0,
+) -> List[AttritionPoint]:
+    """Simulate constellation attrition (and optional replenishment).
+
+    Replenished satellites are modelled as restoring the earliest-failed
+    indices (a replacement flies into the vacated slot), which keeps the
+    orbital geometry comparable across epochs.
+
+    Args:
+        constellation: Starting constellation.
+        model: Failure model.
+        rng: Seeded generator.
+        horizon_years: Simulation horizon.
+        epochs: Number of evaluation instants (including year 0).
+        replenish_per_year: Replacement launch rate.
+
+    Returns:
+        One :class:`AttritionPoint` per epoch.
+    """
+    if epochs < 2:
+        raise ValueError(f"need at least 2 epochs, got {epochs}")
+    if horizon_years <= 0.0:
+        raise ValueError("horizon must be positive")
+    if replenish_per_year < 0:
+        raise ValueError("replenish rate must be non-negative")
+
+    count = len(constellation)
+    lifetimes = model.sample_lifetimes_years(count, rng)
+    order = np.argsort(lifetimes)  # Earliest failures first.
+
+    points: List[AttritionPoint] = []
+    for epoch in range(epochs):
+        years = horizon_years * epoch / (epochs - 1)
+        alive_mask = lifetimes > years
+        # Replenishment restores the earliest failures, budget permitting.
+        budget = int(replenish_per_year * years)
+        for index in order:
+            if budget <= 0:
+                break
+            if not alive_mask[index]:
+                alive_mask[index] = True
+                budget -= 1
+        alive_indices = np.flatnonzero(alive_mask)
+        points.append(
+            AttritionPoint(
+                years=years,
+                alive=int(alive_indices.size),
+                alive_indices=alive_indices,
+            )
+        )
+    return points
+
+
+def replenishment_rate_for_steady_state(
+    constellation_size: int, model: FailureModel
+) -> float:
+    """Launches per year needed to hold a constellation at size.
+
+    In steady state the failure rate of an N-satellite fleet with mean
+    lifetime T is N / T per year.
+    """
+    if constellation_size <= 0:
+        raise ValueError("size must be positive")
+    return constellation_size / model.mean_lifetime_years

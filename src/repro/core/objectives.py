@@ -1,0 +1,139 @@
+"""Party objectives: regional coverage vs global profit (§3.2).
+
+"Participants in MP-LEO constellations can either choose to optimize for
+their profit (e.g., private companies) or optimize for connectivity in
+their own region (e.g., countries).  In our simulations, we find that these
+choices are often co-related, but do not exactly lead to the same outcomes.
+Even when a participant optimizes for local gains over global outcomes, the
+spare capacity is spread across the globe and benefits the rest of the
+network."
+
+This module makes the two objectives concrete placement scorers so the
+correlation the paper observes can be measured:
+
+* :func:`regional_scorer` — maximize coverage of one home city.
+* :func:`global_scorer` — maximize population-weighted global coverage
+  (the profit proxy: more weighted coverage = more billable utilization).
+* :func:`objective_correlation` — score a candidate pool under both and
+  report how aligned the rankings are (Spearman rank correlation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.constellation.satellite import Constellation, Satellite
+from repro.core.placement import PlacementCandidate, PlacementScorer
+from repro.ground.cities import CITIES, City, city_by_name
+from repro.sim.clock import TimeGrid
+
+
+def regional_scorer(
+    base: Optional[Constellation],
+    grid: TimeGrid,
+    home_city: City,
+) -> PlacementScorer:
+    """A scorer whose objective is coverage of one home city only."""
+    return PlacementScorer(base, grid, cities=[home_city])
+
+
+def global_scorer(
+    base: Optional[Constellation],
+    grid: TimeGrid,
+    cities: Sequence[City] = CITIES,
+) -> PlacementScorer:
+    """A scorer whose objective is population-weighted global coverage."""
+    return PlacementScorer(base, grid, cities=cities)
+
+
+def _ranks(values: np.ndarray) -> np.ndarray:
+    """Average ranks (ties share the mean rank)."""
+    order = np.argsort(values)
+    ranks = np.empty_like(order, dtype=np.float64)
+    ranks[order] = np.arange(values.size, dtype=np.float64)
+    # Average ties.
+    for value in np.unique(values):
+        member = values == value
+        if member.sum() > 1:
+            ranks[member] = ranks[member].mean()
+    return ranks
+
+
+def spearman_correlation(a: Sequence[float], b: Sequence[float]) -> float:
+    """Spearman rank correlation of two score vectors.
+
+    Raises:
+        ValueError: On mismatched or too-short inputs.
+    """
+    x = np.asarray(list(a), dtype=np.float64)
+    y = np.asarray(list(b), dtype=np.float64)
+    if x.shape != y.shape:
+        raise ValueError("score vectors must have the same length")
+    if x.size < 3:
+        raise ValueError("need at least 3 candidates")
+    rank_x = _ranks(x)
+    rank_y = _ranks(y)
+    sx = rank_x.std()
+    sy = rank_y.std()
+    if sx == 0.0 or sy == 0.0:
+        return 0.0
+    return float(((rank_x - rank_x.mean()) * (rank_y - rank_y.mean())).mean() / (sx * sy))
+
+
+@dataclass(frozen=True)
+class ObjectiveComparison:
+    """How regional and global objectives rank the same candidates."""
+
+    candidates: Tuple[Satellite, ...]
+    regional_gains: Tuple[float, ...]
+    global_gains: Tuple[float, ...]
+    rank_correlation: float
+    regional_best: Satellite
+    global_best: Satellite
+
+    @property
+    def same_winner(self) -> bool:
+        return self.regional_best.sat_id == self.global_best.sat_id
+
+
+def objective_correlation(
+    base: Optional[Constellation],
+    candidates: Sequence[Satellite],
+    grid: TimeGrid,
+    home_city_name: str,
+    cities: Sequence[City] = CITIES,
+) -> ObjectiveComparison:
+    """Score candidates under both objectives and compare the rankings.
+
+    Args:
+        base: Existing constellation the candidate would join.
+        candidates: Candidate satellites.
+        grid: Evaluation horizon.
+        home_city_name: The regional party's home city.
+        cities: Global city set for the profit objective.
+    """
+    if len(candidates) < 3:
+        raise ValueError("need at least 3 candidates to compare rankings")
+    home = city_by_name(home_city_name)
+    regional = regional_scorer(base, grid, home).score(candidates)
+    global_ = global_scorer(base, grid, cities).score(candidates)
+    regional_gains = tuple(c.coverage_gain_fraction for c in regional)
+    global_gains = tuple(c.coverage_gain_fraction for c in global_)
+
+    def best(scored: List[PlacementCandidate]) -> Satellite:
+        return max(
+            scored,
+            key=lambda c: (c.coverage_gain_fraction, c.satellite.sat_id),
+        ).satellite
+
+    return ObjectiveComparison(
+        candidates=tuple(candidates),
+        regional_gains=regional_gains,
+        global_gains=global_gains,
+        rank_correlation=spearman_correlation(regional_gains, global_gains),
+        regional_best=best(regional),
+        global_best=best(global_),
+    )

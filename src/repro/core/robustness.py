@@ -1,0 +1,142 @@
+"""Withdrawal and robustness analysis (§3.4).
+
+Quantifies how much coverage an MP-LEO constellation loses when participants
+deny service or back out:
+
+* Fig. 5: withdraw a random half of an L-satellite constellation.
+* Fig. 6: withdraw the *largest* of 11 parties under varying contribution
+  skew.
+
+Two API layers: constellation-level convenience functions (self-contained),
+and mask-level functions over a precomputed
+:class:`~repro.sim.visibility.PackedVisibility` for Monte-Carlo loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.constants import DEFAULT_MIN_ELEVATION_DEG
+from repro.constellation.satellite import Constellation
+from repro.core.registry import MultiPartyConstellation
+from repro.ground.cities import CITIES, City, population_weights, terminals_for_cities
+from repro.sim.clock import TimeGrid
+from repro.sim.coverage import population_weighted_coverage_fraction
+from repro.sim.visibility import PackedVisibility, VisibilityEngine
+
+
+@dataclass(frozen=True)
+class WithdrawalImpact:
+    """Coverage before and after a withdrawal."""
+
+    base_fraction: float
+    reduced_fraction: float
+    horizon_s: float
+
+    @property
+    def reduction_fraction(self) -> float:
+        """Coverage lost, as a fraction of the horizon (the Fig. 5/6 y-axis)."""
+        return self.base_fraction - self.reduced_fraction
+
+    @property
+    def reduction_percent(self) -> float:
+        return 100.0 * self.reduction_fraction
+
+    @property
+    def lost_time_s(self) -> float:
+        """Coverage lost expressed as absolute time (the paper quotes
+        '1 day and 16 hours' for L=200)."""
+        return self.reduction_fraction * self.horizon_s
+
+
+def impact_from_packed(
+    visibility: PackedVisibility,
+    weights: Sequence[float],
+    base_indices: np.ndarray,
+    kept_indices: np.ndarray,
+) -> WithdrawalImpact:
+    """Withdrawal impact from a precomputed packed visibility pool.
+
+    Args:
+        visibility: Packed pool visibility (sites must match ``weights``).
+        weights: Per-site population weights.
+        base_indices: Pool indices of the full constellation.
+        kept_indices: Pool indices remaining after withdrawal.
+    """
+    weight_array = np.asarray(list(weights), dtype=np.float64)
+    weight_array = weight_array / weight_array.sum()
+    base = float(weight_array @ visibility.coverage_fractions(base_indices))
+    kept = float(weight_array @ visibility.coverage_fractions(kept_indices))
+    return WithdrawalImpact(
+        base_fraction=base,
+        reduced_fraction=kept,
+        horizon_s=visibility.grid.duration_s,
+    )
+
+
+def coverage_fraction_of(
+    constellation: Constellation,
+    grid: TimeGrid,
+    cities: Sequence[City] = CITIES,
+    min_elevation_deg: float = DEFAULT_MIN_ELEVATION_DEG,
+) -> float:
+    """Population-weighted coverage fraction of a constellation (convenience)."""
+    engine = VisibilityEngine(grid)
+    terminals = terminals_for_cities(cities, min_elevation_deg=min_elevation_deg)
+    masks = engine.site_coverage(constellation, terminals)
+    return population_weighted_coverage_fraction(masks, population_weights(cities))
+
+
+def random_withdrawal_impact(
+    constellation: Constellation,
+    fraction: float,
+    grid: TimeGrid,
+    rng: np.random.Generator,
+    cities: Sequence[City] = CITIES,
+) -> WithdrawalImpact:
+    """Fig. 5 primitive: withdraw a random ``fraction`` of the satellites."""
+    from repro.constellation.sampling import split_randomly
+
+    kept, _ = split_randomly(constellation, fraction, rng)
+    base = coverage_fraction_of(constellation, grid, cities)
+    reduced = (
+        coverage_fraction_of(kept, grid, cities) if len(kept) else 0.0
+    )
+    return WithdrawalImpact(base, reduced, grid.duration_s)
+
+
+def largest_party_withdrawal(
+    registry: MultiPartyConstellation,
+    grid: TimeGrid,
+    cities: Sequence[City] = CITIES,
+) -> WithdrawalImpact:
+    """Fig. 6 primitive: the largest contributor denies service."""
+    full = registry.constellation()
+    largest = registry.largest_party()
+    remaining = full.without_party(largest)
+    base = coverage_fraction_of(full, grid, cities)
+    reduced = (
+        coverage_fraction_of(remaining, grid, cities) if len(remaining) else 0.0
+    )
+    return WithdrawalImpact(base, reduced, grid.duration_s)
+
+
+def proportionality_gap(
+    impact: WithdrawalImpact, stake: float
+) -> float:
+    """How far a withdrawal's damage exceeds the withdrawing party's stake.
+
+    The paper's robustness goal: "Any degradation should be proportional to
+    their stake in the network."  Positive values mean super-proportional
+    damage (bad); zero or negative means the network absorbed the exit.
+    Measured on *relative* coverage loss: (base - reduced) / base vs stake.
+    """
+    if not 0.0 < stake <= 1.0:
+        raise ValueError(f"stake must be in (0, 1], got {stake}")
+    if impact.base_fraction <= 0.0:
+        return 0.0
+    relative_loss = impact.reduction_fraction / impact.base_fraction
+    return relative_loss - stake

@@ -1,0 +1,19 @@
+"""Experiment harness: one module per paper figure.
+
+Each module encapsulates the exact methodology of the corresponding figure
+in *A Call for Decentralized Satellite Networks* (HotNets '24) and returns a
+structured result that the benchmark suite prints as paper-style rows.
+
+* :mod:`repro.experiments.common` — shared pool/visibility caches & config.
+* :mod:`repro.experiments.fig2_coverage_vs_size` — Fig. 2.
+* :mod:`repro.experiments.fig3_idle_vs_cities` — Fig. 3.
+* :mod:`repro.experiments.fig4a_single_addition` — Fig. 4a.
+* :mod:`repro.experiments.fig4b_phase_sweep` — Fig. 4b.
+* :mod:`repro.experiments.fig4c_design_factors` — Fig. 4c.
+* :mod:`repro.experiments.fig5_withdrawal` — Fig. 5.
+* :mod:`repro.experiments.fig6_party_skew` — Fig. 6.
+"""
+
+from repro.experiments.common import ExperimentConfig
+
+__all__ = ["ExperimentConfig"]

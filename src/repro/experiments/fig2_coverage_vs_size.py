@@ -1,0 +1,85 @@
+"""Fig. 2 — percentage of time without coverage vs constellation size.
+
+Paper methodology (§2): a receiver at a central location in Taipei; one
+simulated week; in each run, randomly sample N satellites from the Starlink
+network; report the mean percentage of time with no satellite visible.
+
+Paper anchors: with 100 satellites the user has no coverage >50% of the time
+with continuous gaps over an hour; >=1000 satellites reach 99.5% coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.common import (
+    ExperimentConfig,
+    TAIPEI_INDEX,
+    pool_visibility,
+    starlink_pool,
+)
+from repro.sim.coverage import gap_lengths_s
+
+#: Constellation sizes swept by default (the figure's x axis).
+DEFAULT_SIZES: Sequence[int] = (1, 10, 50, 100, 200, 500, 1000, 2000)
+
+
+@dataclass(frozen=True)
+class Fig2Point:
+    """One x-axis point of Fig. 2, aggregated over runs."""
+
+    satellites: int
+    mean_uncovered_percent: float
+    std_uncovered_percent: float
+    mean_max_gap_s: float
+    max_max_gap_s: float
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    points: List[Fig2Point]
+    config: ExperimentConfig
+
+    def uncovered_percent_series(self) -> List[Tuple[int, float]]:
+        return [(p.satellites, p.mean_uncovered_percent) for p in self.points]
+
+
+def run_fig2(
+    config: ExperimentConfig = ExperimentConfig(),
+    sizes: Sequence[int] = DEFAULT_SIZES,
+) -> Fig2Result:
+    """Run the Fig. 2 sweep.
+
+    Uses the shared packed-visibility pool: each Monte-Carlo run reduces the
+    Taipei row over a random satellite subset.
+    """
+    visibility = pool_visibility(config)
+    pool_size = len(starlink_pool())
+    rng = config.rng(salt=2)
+    step_s = config.grid().step_s
+
+    points: List[Fig2Point] = []
+    for size in sizes:
+        if size > pool_size:
+            raise ValueError(f"size {size} exceeds pool of {pool_size}")
+        uncovered = np.empty(config.runs)
+        max_gaps = np.empty(config.runs)
+        for run in range(config.runs):
+            indices = rng.choice(pool_size, size=size, replace=False)
+            mask = visibility.site_mask(TAIPEI_INDEX, indices)
+            uncovered[run] = 100.0 * (1.0 - mask.mean())
+            gaps = gap_lengths_s(mask, step_s)
+            max_gaps[run] = gaps.max() if gaps.size else 0.0
+        points.append(
+            Fig2Point(
+                satellites=size,
+                mean_uncovered_percent=float(uncovered.mean()),
+                std_uncovered_percent=float(uncovered.std()),
+                mean_max_gap_s=float(max_gaps.mean()),
+                max_max_gap_s=float(max_gaps.max()),
+            )
+        )
+    return Fig2Result(points=points, config=config)

@@ -1,0 +1,64 @@
+"""Fig. 4b — impact of phase placement between existing satellites.
+
+Paper methodology (§3.3): an imaginary constellation of 12 satellites, each
+30 degrees apart in one orbital plane (53 degree inclination, 546 km); add a
+satellite at 29 positions between two of the original satellites, spaced
+about 1 degree apart in phase; report the coverage improvement vs the
+original 12.
+
+Paper anchor: the midpoint (15 degrees from each neighbour) maximizes the
+improvement — the farthest point from existing satellites wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.constellation.design import (
+    fig4b_base_constellation,
+    phase_sweep_candidates,
+)
+from repro.core.placement import PlacementScorer
+from repro.experiments.common import ExperimentConfig
+from repro.ground.cities import CITIES
+
+
+@dataclass(frozen=True)
+class Fig4bPoint:
+    phase_offset_deg: float
+    gain_hours: float
+
+
+@dataclass(frozen=True)
+class Fig4bResult:
+    points: List[Fig4bPoint]
+    config: ExperimentConfig
+
+    def best_offset_deg(self) -> float:
+        return max(self.points, key=lambda p: p.gain_hours).phase_offset_deg
+
+    def gain_series(self) -> List[Tuple[float, float]]:
+        return [(p.phase_offset_deg, p.gain_hours) for p in self.points]
+
+
+def run_fig4b(
+    config: ExperimentConfig = ExperimentConfig(),
+    positions: int = 29,
+) -> Fig4bResult:
+    """Run the Fig. 4b phase sweep (deterministic; no Monte-Carlo needed)."""
+    base = fig4b_base_constellation()
+    candidates = phase_sweep_candidates(
+        base[0].elements, gap_deg=30.0, positions=positions
+    )
+    scorer = PlacementScorer(base, config.grid(), cities=CITIES)
+    scored = scorer.score(candidates)
+    step = 30.0 / (positions + 1)
+    points = [
+        Fig4bPoint(
+            phase_offset_deg=step * (index + 1),
+            gain_hours=candidate.coverage_gain_hours,
+        )
+        for index, candidate in enumerate(scored)
+    ]
+    return Fig4bResult(points=points, config=config)

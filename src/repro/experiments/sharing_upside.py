@@ -1,0 +1,87 @@
+"""§2 claim — "a participant contributing just 50 satellites can get
+coverage worth over 1000 satellites by trading off their spare capacities".
+
+Methodology: calibrate a go-it-alone curve (weighted city coverage vs own
+constellation size), then compare a party's coverage alone (its 50
+satellites) against what it experiences inside a shared MP-LEO constellation
+(every member's satellites).  The "worth" is the go-it-alone size whose
+coverage matches the shared experience.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.sharing import SharingUpside, sharing_upside
+from repro.experiments.common import (
+    ExperimentConfig,
+    pool_visibility,
+    starlink_pool,
+    weighted_city_coverage_fraction,
+)
+
+DEFAULT_CALIBRATION_SIZES: Sequence[int] = (
+    10, 25, 50, 100, 200, 400, 700, 1000, 1500, 2000, 3000, 4000,
+)
+
+
+@dataclass(frozen=True)
+class SharingUpsideResult:
+    upside: SharingUpside
+    calibration: List[Tuple[int, float]]
+    config: ExperimentConfig
+
+
+def run_sharing_upside(
+    config: ExperimentConfig = ExperimentConfig(),
+    contributed: int = 50,
+    network_size: int = 1000,
+    calibration_sizes: Sequence[int] = DEFAULT_CALIBRATION_SIZES,
+) -> SharingUpsideResult:
+    """Measure the §2 sharing upside for one representative party.
+
+    Args:
+        contributed: Satellites the party brings (the paper's 50).
+        network_size: Total MP-LEO constellation size it joins (the paper's
+            benchmark of 1000-satellite coverage).
+        calibration_sizes: Go-it-alone sizes for the worth curve.
+    """
+    if not 0 < contributed <= network_size:
+        raise ValueError(
+            f"contributed ({contributed}) must be in (0, network_size]"
+        )
+    visibility = pool_visibility(config)
+    pool_size = len(starlink_pool())
+    rng = config.rng(salt=7)
+
+    # Go-it-alone calibration curve, averaged over runs.
+    calibration: List[Tuple[int, float]] = []
+    for size in calibration_sizes:
+        fractions = np.empty(config.runs)
+        for run in range(config.runs):
+            indices = rng.choice(pool_size, size=size, replace=False)
+            fractions[run] = weighted_city_coverage_fraction(visibility, indices)
+        calibration.append((size, float(fractions.mean())))
+
+    # The shared network and the party's slice of it.
+    alone_fractions = np.empty(config.runs)
+    shared_fractions = np.empty(config.runs)
+    for run in range(config.runs):
+        network = rng.choice(pool_size, size=network_size, replace=False)
+        own = network[:contributed]
+        alone_fractions[run] = weighted_city_coverage_fraction(visibility, own)
+        shared_fractions[run] = weighted_city_coverage_fraction(visibility, network)
+
+    upside = sharing_upside(
+        party="participant",
+        contributed=contributed,
+        alone_coverage_fraction=float(alone_fractions.mean()),
+        shared_coverage_fraction=float(shared_fractions.mean()),
+        coverage_by_count=calibration,
+    )
+    return SharingUpsideResult(
+        upside=upside, calibration=calibration, config=config
+    )

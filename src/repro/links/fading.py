@@ -1,0 +1,219 @@
+"""Rain attenuation and link margining.
+
+Ku/Ka-band satellite links fade in rain, and a *transparent* bent pipe
+amplifies uplink fades straight into the downlink (§3.1's architecture has
+no on-board regeneration to clean them up), so fade modelling matters more
+for MP-LEO than for regenerative designs.
+
+The model is a simplified ITU-R P.838 power law: specific attenuation
+``gamma = k * R^alpha`` dB/km for rain rate R mm/h, integrated over an
+effective slant path through the rain layer.  Coefficients are tabulated at
+the library's band centers; they interpolate the published values well
+within the fidelity needed for margin studies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+#: ITU-R P.838-style (k, alpha) power-law coefficients by frequency (GHz),
+#: circular polarization.  Interpolated logarithmically between entries.
+_RAIN_COEFFICIENTS: Tuple[Tuple[float, float, float], ...] = (
+    # (frequency_ghz, k, alpha)
+    (4.0, 0.00065, 1.121),
+    (8.0, 0.00454, 1.327),
+    (12.0, 0.0188, 1.217),
+    (15.0, 0.0367, 1.154),
+    (20.0, 0.0751, 1.099),
+    (30.0, 0.187, 1.021),
+    (40.0, 0.350, 0.939),
+)
+
+#: Mean rain-layer height above ground, meters (mid-latitude average).
+DEFAULT_RAIN_HEIGHT_M = 4000.0
+
+
+def rain_coefficients(frequency_hz: float) -> Tuple[float, float]:
+    """(k, alpha) power-law coefficients at a frequency.
+
+    Log-linear interpolation in frequency between tabulated points;
+    clamped at the table's ends.
+
+    Raises:
+        ValueError: On a non-positive frequency.
+    """
+    if frequency_hz <= 0.0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz}")
+    frequency_ghz = frequency_hz / 1e9
+    table = _RAIN_COEFFICIENTS
+    if frequency_ghz <= table[0][0]:
+        return table[0][1], table[0][2]
+    if frequency_ghz >= table[-1][0]:
+        return table[-1][1], table[-1][2]
+    for (f_low, k_low, a_low), (f_high, k_high, a_high) in zip(table, table[1:]):
+        if f_low <= frequency_ghz <= f_high:
+            fraction = (math.log(frequency_ghz) - math.log(f_low)) / (
+                math.log(f_high) - math.log(f_low)
+            )
+            k = math.exp(
+                math.log(k_low) + fraction * (math.log(k_high) - math.log(k_low))
+            )
+            alpha = a_low + fraction * (a_high - a_low)
+            return k, alpha
+    raise AssertionError("unreachable: table scan must find a bracket")
+
+
+def specific_attenuation_db_per_km(
+    rain_rate_mm_h: float, frequency_hz: float
+) -> float:
+    """gamma = k * R^alpha, dB/km.
+
+    Raises:
+        ValueError: On a negative rain rate.
+    """
+    if rain_rate_mm_h < 0.0:
+        raise ValueError(f"rain rate must be non-negative, got {rain_rate_mm_h}")
+    if rain_rate_mm_h == 0.0:
+        return 0.0
+    k, alpha = rain_coefficients(frequency_hz)
+    return k * rain_rate_mm_h**alpha
+
+
+def effective_path_km(
+    elevation_deg: float, rain_height_m: float = DEFAULT_RAIN_HEIGHT_M
+) -> float:
+    """Slant path length through the rain layer, km.
+
+    Flat-layer geometry with a floor at 5 degrees elevation (below which
+    the flat-Earth secant blows up and real models switch to horizontal
+    reduction factors — the coverage mask keeps us above it anyway).
+    """
+    clamped = max(5.0, min(90.0, elevation_deg))
+    return rain_height_m / 1000.0 / math.sin(math.radians(clamped))
+
+
+def rain_attenuation_db(
+    rain_rate_mm_h: float,
+    frequency_hz: float,
+    elevation_deg: float,
+    rain_height_m: float = DEFAULT_RAIN_HEIGHT_M,
+) -> float:
+    """Total rain attenuation of one hop, dB."""
+    gamma = specific_attenuation_db_per_km(rain_rate_mm_h, frequency_hz)
+    return gamma * effective_path_km(elevation_deg, rain_height_m)
+
+
+@dataclass(frozen=True)
+class RainClimate:
+    """A site's rain statistics (exceedance curve approximated as lognormal).
+
+    Attributes:
+        rate_exceeded_001_mm_h: Rain rate exceeded 0.01% of the time
+            (the ITU planning statistic; ~42 mm/h for temperate Taipei-like
+            climates, >100 mm/h tropical).
+        rainy_fraction: Fraction of time with any rain at all.
+    """
+
+    rate_exceeded_001_mm_h: float = 42.0
+    rainy_fraction: float = 0.06
+
+    def __post_init__(self) -> None:
+        if self.rate_exceeded_001_mm_h <= 0.0:
+            raise ValueError("exceedance rate must be positive")
+        if not 0.0 < self.rainy_fraction < 1.0:
+            raise ValueError("rainy fraction must be in (0, 1)")
+
+    def sample_rain_rates(
+        self, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Draw rain rates (mm/h) for ``count`` independent instants.
+
+        Dry instants sample as 0; rainy instants draw from a lognormal
+        calibrated so its 0.01%-of-total-time quantile matches the climate's
+        planning statistic.
+        """
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        rates = np.zeros(count)
+        rainy = rng.random(count) < self.rainy_fraction
+        rainy_count = int(rainy.sum())
+        if rainy_count:
+            # Lognormal(mu, sigma): set sigma=1.2 (typical spread) and solve
+            # mu so that P(rain) * P(X > R001 | rain) = 1e-4.
+            sigma = 1.2
+            exceed_within_rain = 1e-4 / self.rainy_fraction
+            from math import erf, sqrt
+
+            # Inverse normal CDF via binary search (scipy-free).
+            target = 1.0 - exceed_within_rain
+
+            def normal_cdf(x: float) -> float:
+                return 0.5 * (1.0 + erf(x / sqrt(2.0)))
+
+            low, high = -10.0, 10.0
+            for _ in range(80):
+                mid = (low + high) / 2.0
+                if normal_cdf(mid) < target:
+                    low = mid
+                else:
+                    high = mid
+            z_quantile = (low + high) / 2.0
+            mu = math.log(self.rate_exceeded_001_mm_h) - sigma * z_quantile
+            rates[rainy] = rng.lognormal(mu, sigma, size=rainy_count)
+        return rates
+
+
+def fade_margin_db(
+    availability_target: float,
+    frequency_hz: float,
+    elevation_deg: float,
+    climate: RainClimate = RainClimate(),
+) -> float:
+    """Rain margin needed for a link availability target.
+
+    Finds the attenuation exceeded ``(1 - target)`` of the time under the
+    climate's lognormal model (analytically, via the rate quantile).
+
+    Raises:
+        ValueError: On a target outside (0, 1).
+    """
+    if not 0.0 < availability_target < 1.0:
+        raise ValueError("target must be in (0, 1)")
+    outage = 1.0 - availability_target
+    if outage >= climate.rainy_fraction:
+        return 0.0  # It only rains rainy_fraction of the time.
+    # Rate exceeded `outage` of total time, from the calibrated lognormal.
+    sigma = 1.2
+    from math import erf, sqrt
+
+    exceed_within_rain = outage / climate.rainy_fraction
+    target_cdf = 1.0 - exceed_within_rain
+
+    def normal_cdf(x: float) -> float:
+        return 0.5 * (1.0 + erf(x / sqrt(2.0)))
+
+    low, high = -10.0, 10.0
+    for _ in range(80):
+        mid = (low + high) / 2.0
+        if normal_cdf(mid) < target_cdf:
+            low = mid
+        else:
+            high = mid
+    z_quantile = (low + high) / 2.0
+
+    exceed_001_cdf = 1.0 - 1e-4 / climate.rainy_fraction
+    low, high = -10.0, 10.0
+    for _ in range(80):
+        mid = (low + high) / 2.0
+        if normal_cdf(mid) < exceed_001_cdf:
+            low = mid
+        else:
+            high = mid
+    z_001 = (low + high) / 2.0
+    mu = math.log(climate.rate_exceeded_001_mm_h) - sigma * z_001
+    rate = math.exp(mu + sigma * z_quantile)
+    return rain_attenuation_db(rate, frequency_hz, elevation_deg)

@@ -1,0 +1,135 @@
+"""Band plans and ground-managed spectrum coordination.
+
+The paper's design "delegates spectrum management to ground stations and user
+terminals since the satellite acts merely as a repeater (and will be designed
+as compatible with primary satellite frequencies — X and Ka/Ku bands)" (§4).
+This module models that delegation: a :class:`BandPlan` carves a band into
+channels, and a :class:`SpectrumCoordinator` hands out non-conflicting
+channel grants per (party, region) so co-located terminals of different
+parties do not interfere through the shared repeater.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+#: Primary satellite bands the paper names, as (low_hz, high_hz).
+BANDS_HZ: Dict[str, Tuple[float, float]] = {
+    "X": (8.0e9, 12.0e9),
+    "Ku-uplink": (14.0e9, 14.5e9),
+    "Ku-downlink": (10.7e9, 12.7e9),
+    "Ka-uplink": (27.5e9, 30.0e9),
+    "Ka-downlink": (17.7e9, 20.2e9),
+}
+
+
+@dataclass(frozen=True)
+class Channel:
+    """One frequency channel within a band plan."""
+
+    index: int
+    center_hz: float
+    bandwidth_hz: float
+
+    @property
+    def low_hz(self) -> float:
+        return self.center_hz - self.bandwidth_hz / 2.0
+
+    @property
+    def high_hz(self) -> float:
+        return self.center_hz + self.bandwidth_hz / 2.0
+
+    def overlaps(self, other: "Channel") -> bool:
+        return self.low_hz < other.high_hz and other.low_hz < self.high_hz
+
+
+@dataclass(frozen=True)
+class BandPlan:
+    """A band divided into equal channels with optional guard bands."""
+
+    band: str
+    channel_bandwidth_hz: float
+    guard_hz: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.band not in BANDS_HZ:
+            raise ValueError(
+                f"unknown band {self.band!r}; known: {sorted(BANDS_HZ)}"
+            )
+        if self.channel_bandwidth_hz <= 0.0:
+            raise ValueError("channel bandwidth must be positive")
+        if self.guard_hz < 0.0:
+            raise ValueError("guard band must be non-negative")
+
+    @property
+    def channels(self) -> List[Channel]:
+        low, high = BANDS_HZ[self.band]
+        pitch = self.channel_bandwidth_hz + self.guard_hz
+        count = int((high - low + self.guard_hz) // pitch)
+        return [
+            Channel(
+                index=index,
+                center_hz=low + pitch * index + self.channel_bandwidth_hz / 2.0,
+                bandwidth_hz=self.channel_bandwidth_hz,
+            )
+            for index in range(count)
+        ]
+
+
+class SpectrumConflictError(RuntimeError):
+    """Raised when no conflict-free channel is available in a region."""
+
+
+@dataclass
+class SpectrumCoordinator:
+    """Grants channels to parties per region, avoiding co-channel conflicts.
+
+    A *region* is an opaque key (e.g. a city name); two grants conflict when
+    they share a region and their channels overlap.  This is deliberately a
+    ground-side mechanism: nothing here touches the satellites, mirroring the
+    transparent-repeater architecture.
+    """
+
+    plan: BandPlan
+    _grants: Dict[str, Dict[int, str]] = field(default_factory=dict)
+
+    def granted_channels(self, region: str) -> Dict[int, str]:
+        """Map channel index -> party for a region."""
+        return dict(self._grants.get(region, {}))
+
+    def request(self, party: str, region: str) -> Channel:
+        """Grant the lowest-index free channel in a region to a party.
+
+        Raises:
+            SpectrumConflictError: When the region's channels are exhausted.
+        """
+        taken = self._grants.setdefault(region, {})
+        for channel in self.plan.channels:
+            if channel.index not in taken:
+                taken[channel.index] = party
+                return channel
+        raise SpectrumConflictError(
+            f"no free channels in region {region!r} "
+            f"(all {len(self.plan.channels)} granted)"
+        )
+
+    def release(self, party: str, region: str, channel_index: int) -> None:
+        """Release a previously granted channel.
+
+        Raises:
+            KeyError: If the grant does not exist or belongs to another party.
+        """
+        taken = self._grants.get(region, {})
+        if taken.get(channel_index) != party:
+            raise KeyError(
+                f"channel {channel_index} in {region!r} is not held by {party!r}"
+            )
+        del taken[channel_index]
+
+    def utilization(self, region: str) -> float:
+        """Fraction of the region's channels currently granted."""
+        total = len(self.plan.channels)
+        if total == 0:
+            return 0.0
+        return len(self._grants.get(region, {})) / total

@@ -1,0 +1,248 @@
+"""Two-Line Element (TLE) parsing and formatting.
+
+CosmicBeats (the paper's simulator) describes orbits with TLEs; this module
+gives the reproduction the same interchange format.  Synthetic constellations
+built by :mod:`repro.constellation` can be exported to TLE text and reloaded,
+and external TLE catalogs can be imported when available.
+
+The implementation follows the NORAD fixed-column format, including the
+modulo-10 checksum and the packed exponent notation used for B* and the
+second derivative of mean motion.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Tuple
+
+from repro.constants import DAY_S, semi_major_axis_from_period_s
+from repro.orbits.elements import OrbitalElements
+
+_LINE_LENGTH = 69
+
+
+class TLEError(ValueError):
+    """Raised when TLE text cannot be parsed or fails validation."""
+
+
+def tle_checksum(line: str) -> int:
+    """Compute the NORAD modulo-10 checksum of a TLE line (without its last digit).
+
+    Digits count as their value, '-' counts as 1, everything else as 0.
+    """
+    total = 0
+    for char in line[:68]:
+        if char.isdigit():
+            total += int(char)
+        elif char == "-":
+            total += 1
+    return total % 10
+
+
+def _format_exponent_field(value: float) -> str:
+    """Format a float in the TLE packed-exponent notation (e.g. ' 12345-4')."""
+    if value == 0.0:
+        return " 00000+0"
+    sign = "-" if value < 0.0 else " "
+    magnitude = abs(value)
+    exponent = int(math.floor(math.log10(magnitude))) + 1
+    mantissa = magnitude / (10.0**exponent)
+    mantissa_digits = int(round(mantissa * 1e5))
+    if mantissa_digits >= 100000:  # rounding spilled over, e.g. 0.999999
+        mantissa_digits = 10000
+        exponent += 1
+    exp_sign = "-" if exponent < 0 else "+"
+    return f"{sign}{mantissa_digits:05d}{exp_sign}{abs(exponent)}"
+
+
+def _parse_exponent_field(field: str) -> float:
+    """Parse the TLE packed-exponent notation back into a float."""
+    field = field.strip()
+    if not field:
+        return 0.0
+    match = re.fullmatch(r"([+-]?)(\d{1,5})([+-]\d)", field)
+    if match is None:
+        raise TLEError(f"malformed exponent field: {field!r}")
+    sign = -1.0 if match.group(1) == "-" else 1.0
+    mantissa = int(match.group(2)) / 10.0 ** len(match.group(2))
+    exponent = int(match.group(3))
+    return sign * mantissa * 10.0**exponent
+
+
+@dataclass(frozen=True)
+class TLE:
+    """A parsed Two-Line Element set.
+
+    Angles in degrees and mean motion in revolutions/day, mirroring the wire
+    format; use :meth:`to_elements` for the library's radian/SI form.
+    """
+
+    name: str
+    satellite_number: int
+    classification: str
+    international_designator: str
+    epoch_year: int
+    epoch_day: float
+    mean_motion_dot: float
+    mean_motion_ddot: float
+    bstar: float
+    inclination_deg: float
+    raan_deg: float
+    eccentricity: float
+    arg_perigee_deg: float
+    mean_anomaly_deg: float
+    mean_motion_rev_day: float
+    revolution_number: int = 0
+    element_set_number: int = 0
+
+    @classmethod
+    def parse(cls, line1: str, line2: str, name: str = "") -> "TLE":
+        """Parse a TLE from its two 69-column lines.
+
+        Raises:
+            TLEError: On malformed lines or checksum failure.
+        """
+        line1 = line1.rstrip("\n")
+        line2 = line2.rstrip("\n")
+        for index, line in ((1, line1), (2, line2)):
+            if len(line) < _LINE_LENGTH:
+                raise TLEError(f"line {index} too short ({len(line)} chars)")
+            if line[0] != str(index):
+                raise TLEError(f"line {index} must start with '{index}'")
+            expected = tle_checksum(line)
+            actual = line[68]
+            if not actual.isdigit() or int(actual) != expected:
+                raise TLEError(
+                    f"line {index} checksum mismatch: expected {expected}, got {actual!r}"
+                )
+        if line1[2:7] != line2[2:7]:
+            raise TLEError("satellite numbers differ between lines")
+
+        epoch_year_two_digit = int(line1[18:20])
+        epoch_year = 2000 + epoch_year_two_digit if epoch_year_two_digit < 57 else 1900 + epoch_year_two_digit
+        return cls(
+            name=name.strip(),
+            satellite_number=int(line1[2:7]),
+            classification=line1[7],
+            international_designator=line1[9:17].strip(),
+            epoch_year=epoch_year,
+            epoch_day=float(line1[20:32]),
+            mean_motion_dot=float(line1[33:43]),
+            mean_motion_ddot=_parse_exponent_field(line1[44:52]),
+            bstar=_parse_exponent_field(line1[53:61]),
+            inclination_deg=float(line2[8:16]),
+            raan_deg=float(line2[17:25]),
+            eccentricity=float("0." + line2[26:33].strip()),
+            arg_perigee_deg=float(line2[34:42]),
+            mean_anomaly_deg=float(line2[43:51]),
+            mean_motion_rev_day=float(line2[52:63]),
+            revolution_number=int(line2[63:68]),
+            element_set_number=int(line1[64:68]),
+        )
+
+    def format(self) -> Tuple[str, str]:
+        """Render the TLE back into its two fixed-column lines (with checksums)."""
+        epoch_year_two_digit = self.epoch_year % 100
+        # The first-derivative field is 10 columns: sign, decimal point, and
+        # eight digits (e.g. "-.00002182").
+        dot_sign = "-" if self.mean_motion_dot < 0.0 else " "
+        mean_motion_dot = f"{dot_sign}.{round(abs(self.mean_motion_dot) * 1e8):08d}"
+        line1_body = (
+            f"1 {self.satellite_number:05d}{self.classification} "
+            f"{self.international_designator:<8s} "
+            f"{epoch_year_two_digit:02d}{self.epoch_day:012.8f} "
+            f"{mean_motion_dot:>10s} "
+            f"{_format_exponent_field(self.mean_motion_ddot)} "
+            f"{_format_exponent_field(self.bstar)} 0 "
+            f"{self.element_set_number:4d}"
+        )
+        ecc_digits = f"{self.eccentricity:.7f}"[2:9]
+        line2_body = (
+            f"2 {self.satellite_number:05d} "
+            f"{self.inclination_deg:8.4f} "
+            f"{self.raan_deg:8.4f} "
+            f"{ecc_digits} "
+            f"{self.arg_perigee_deg:8.4f} "
+            f"{self.mean_anomaly_deg:8.4f} "
+            f"{self.mean_motion_rev_day:11.8f}"
+            f"{self.revolution_number:5d}"
+        )
+        line1 = line1_body + str(tle_checksum(line1_body))
+        line2 = line2_body + str(tle_checksum(line2_body))
+        return line1, line2
+
+    def to_elements(self, epoch_s: float = 0.0) -> OrbitalElements:
+        """Convert to :class:`OrbitalElements` anchored at ``epoch_s`` sim time."""
+        period_s = DAY_S / self.mean_motion_rev_day
+        return OrbitalElements(
+            semi_major_axis_m=semi_major_axis_from_period_s(period_s),
+            eccentricity=self.eccentricity,
+            inclination_rad=math.radians(self.inclination_deg),
+            raan_rad=math.radians(self.raan_deg % 360.0),
+            arg_perigee_rad=math.radians(self.arg_perigee_deg % 360.0),
+            mean_anomaly_rad=math.radians(self.mean_anomaly_deg % 360.0),
+            epoch_s=epoch_s,
+        )
+
+    @classmethod
+    def from_elements(
+        cls,
+        elements: OrbitalElements,
+        *,
+        name: str = "SAT",
+        satellite_number: int = 1,
+        epoch_year: int = 2024,
+        epoch_day: float = 1.0,
+    ) -> "TLE":
+        """Build a TLE from orbital elements (two-body mean motion, zero drag)."""
+        return cls(
+            name=name,
+            satellite_number=satellite_number,
+            classification="U",
+            international_designator="24001A",
+            epoch_year=epoch_year,
+            epoch_day=epoch_day,
+            mean_motion_dot=0.0,
+            mean_motion_ddot=0.0,
+            bstar=0.0,
+            inclination_deg=elements.inclination_deg,
+            raan_deg=elements.raan_deg % 360.0,
+            eccentricity=elements.eccentricity,
+            arg_perigee_deg=math.degrees(elements.arg_perigee_rad) % 360.0,
+            mean_anomaly_deg=elements.mean_anomaly_deg % 360.0,
+            mean_motion_rev_day=DAY_S / elements.period_s,
+        )
+
+
+def parse_tle_file(text: str) -> List[TLE]:
+    """Parse a multi-TLE text blob (3-line format with names, or bare 2-line)."""
+    lines = [line.rstrip("\n") for line in text.splitlines() if line.strip()]
+    result: List[TLE] = []
+    index = 0
+    while index < len(lines):
+        if lines[index].startswith("1 "):
+            if index + 1 >= len(lines):
+                raise TLEError("dangling line 1 at end of TLE file")
+            result.append(TLE.parse(lines[index], lines[index + 1]))
+            index += 2
+        else:
+            if index + 2 >= len(lines):
+                raise TLEError("dangling name line at end of TLE file")
+            result.append(TLE.parse(lines[index + 1], lines[index + 2], name=lines[index]))
+            index += 3
+    return result
+
+
+def format_tle_file(tles: Iterable[TLE]) -> str:
+    """Render TLEs as a 3-line-format text blob."""
+
+    def emit() -> Iterator[str]:
+        for tle in tles:
+            line1, line2 = tle.format()
+            yield tle.name or "UNNAMED"
+            yield line1
+            yield line2
+
+    return "\n".join(emit()) + "\n"

@@ -1,0 +1,161 @@
+"""Satellite utilization and idle-time accounting.
+
+The paper's Fig. 3 measures "each satellite's idle time, i.e., times when it
+is not connected to a user terminal."  A satellite is *active* at a time step
+when at least one user terminal is inside its footprint, and *idle*
+otherwise.  With the spare-capacity sharing of MP-LEO the same accounting
+splits an active satellite's time between serving its owner's terminals and
+serving other parties' terminals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.sim.clock import TimeGrid
+
+
+@dataclass(frozen=True)
+class UtilizationStats:
+    """Per-constellation utilization summary."""
+
+    mean_idle_fraction: float
+    mean_active_fraction: float
+    per_satellite_idle_fraction: np.ndarray  # (N,)
+
+    @property
+    def mean_idle_percent(self) -> float:
+        return 100.0 * self.mean_idle_fraction
+
+
+def utilization_from_visibility(visibility: np.ndarray) -> UtilizationStats:
+    """Utilization statistics from a visibility tensor.
+
+    Args:
+        visibility: Boolean tensor of shape (S, N, T) — terminal s sees
+            satellite n at time t.
+
+    Returns:
+        :class:`UtilizationStats`; a satellite is active when any terminal
+        sees it.
+    """
+    visibility = np.asarray(visibility, dtype=bool)
+    if visibility.ndim != 3:
+        raise ValueError(f"visibility must be (S, N, T), got {visibility.shape}")
+    active = visibility.any(axis=0)  # (N, T)
+    active_fraction = active.mean(axis=1)  # (N,)
+    idle_fraction = 1.0 - active_fraction
+    return UtilizationStats(
+        mean_idle_fraction=float(idle_fraction.mean()),
+        mean_active_fraction=float(active_fraction.mean()),
+        per_satellite_idle_fraction=idle_fraction,
+    )
+
+
+@dataclass(frozen=True)
+class SpareCapacityLedger:
+    """Split of each satellite's active time between own-party and others.
+
+    Attributes:
+        own_fraction: (N,) fraction of the horizon each satellite serves its
+            owner's terminals.
+        spare_fraction: (N,) fraction serving only other parties' terminals
+            (the capacity MP-LEO participants trade).
+        idle_fraction: (N,) fraction covering no terminal at all.
+    """
+
+    own_fraction: np.ndarray
+    spare_fraction: np.ndarray
+    idle_fraction: np.ndarray
+
+    def __post_init__(self) -> None:
+        total = self.own_fraction + self.spare_fraction + self.idle_fraction
+        if not np.allclose(total, 1.0):
+            raise ValueError("fractions must sum to 1 per satellite")
+
+
+def spare_capacity_split(
+    visibility: np.ndarray,
+    terminal_parties: Sequence[str],
+    satellite_parties: Sequence[str],
+) -> SpareCapacityLedger:
+    """Split satellite time into own-use / spare-use / idle.
+
+    Args:
+        visibility: Boolean (S, N, T) tensor.
+        terminal_parties: Party owning each terminal (length S).
+        satellite_parties: Party owning each satellite (length N).
+
+    A time step counts as *own use* when at least one of the owner's
+    terminals is visible (the owner has priority on its own satellite,
+    matching the paper's "offer their spare capacity ... when not in use by
+    the contributor's devices").  It counts as *spare use* when only other
+    parties' terminals are visible.
+    """
+    visibility = np.asarray(visibility, dtype=bool)
+    if visibility.ndim != 3:
+        raise ValueError(f"visibility must be (S, N, T), got {visibility.shape}")
+    site_count, sat_count, _ = visibility.shape
+    if len(terminal_parties) != site_count:
+        raise ValueError(
+            f"need {site_count} terminal parties, got {len(terminal_parties)}"
+        )
+    if len(satellite_parties) != sat_count:
+        raise ValueError(
+            f"need {sat_count} satellite parties, got {len(satellite_parties)}"
+        )
+
+    terminal_party_array = np.array(terminal_parties)
+    own_fraction = np.empty(sat_count)
+    spare_fraction = np.empty(sat_count)
+    idle_fraction = np.empty(sat_count)
+    for sat_index, sat_party in enumerate(satellite_parties):
+        own_terminals = terminal_party_array == sat_party
+        sat_visibility = visibility[:, sat_index, :]  # (S, T)
+        own_active = (
+            sat_visibility[own_terminals].any(axis=0)
+            if own_terminals.any()
+            else np.zeros(sat_visibility.shape[1], dtype=bool)
+        )
+        any_active = sat_visibility.any(axis=0)
+        spare_active = any_active & ~own_active
+        own_fraction[sat_index] = own_active.mean()
+        spare_fraction[sat_index] = spare_active.mean()
+        idle_fraction[sat_index] = 1.0 - any_active.mean()
+    return SpareCapacityLedger(own_fraction, spare_fraction, idle_fraction)
+
+
+def idle_time_hours(
+    visibility: np.ndarray, grid: TimeGrid
+) -> np.ndarray:
+    """Per-satellite idle time in hours over the grid horizon."""
+    stats = utilization_from_visibility(visibility)
+    return stats.per_satellite_idle_fraction * grid.duration_s / 3600.0
+
+
+def party_capacity_shares(
+    visibility: np.ndarray,
+    terminal_parties: Sequence[str],
+    satellite_parties: Sequence[str],
+) -> Dict[str, Dict[str, float]]:
+    """Per-party summary of the spare-capacity economy.
+
+    Returns:
+        Map party -> {"own": .., "spare_provided": .., "idle": ..} where each
+        value is the mean fraction over the party's satellites.  Parties with
+        no satellites are omitted.
+    """
+    ledger = spare_capacity_split(visibility, terminal_parties, satellite_parties)
+    shares: Dict[str, Dict[str, float]] = {}
+    parties = np.array(satellite_parties)
+    for party in sorted(set(satellite_parties)):
+        member = parties == party
+        shares[party] = {
+            "own": float(ledger.own_fraction[member].mean()),
+            "spare_provided": float(ledger.spare_fraction[member].mean()),
+            "idle": float(ledger.idle_fraction[member].mean()),
+        }
+    return shares

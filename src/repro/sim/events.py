@@ -1,0 +1,87 @@
+"""Event records and interval extraction.
+
+The engine is time-stepped for allocation, but reports its outputs as
+*events*: contact windows (satellite rise/set over a site) and sessions
+(a terminal actually served through a satellite to a ground station).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+
+def intervals_from_mask(mask: np.ndarray, step_s: float, start_s: float = 0.0) -> List[Tuple[float, float]]:
+    """Convert a boolean timeline into [start, stop) intervals in seconds.
+
+    Args:
+        mask: 1-D boolean array.
+        step_s: Sample spacing.
+        start_s: Time of the first sample.
+
+    Returns:
+        List of (start_s, stop_s) tuples for each True run.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    if mask.ndim != 1:
+        raise ValueError(f"mask must be 1-D, got shape {mask.shape}")
+    padded = np.concatenate(([False], mask, [False]))
+    edges = np.flatnonzero(np.diff(padded.astype(np.int8)))
+    starts, stops = edges[::2], edges[1::2]
+    return [
+        (start_s + step_s * begin, start_s + step_s * end)
+        for begin, end in zip(starts, stops)
+    ]
+
+
+@dataclass(frozen=True)
+class ContactEvent:
+    """A visibility window between a satellite and a ground site."""
+
+    site_name: str
+    sat_id: str
+    start_s: float
+    stop_s: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.stop_s - self.start_s
+
+
+@dataclass(frozen=True)
+class SessionEvent:
+    """A served interval: terminal -> satellite -> ground station.
+
+    Attributes:
+        terminal_name: Served user terminal.
+        sat_id: Relaying satellite.
+        station_name: Terminating ground station (same party as terminal).
+        terminal_party: Party consuming the capacity.
+        sat_party: Party providing the satellite.
+        start_s / stop_s: Session bounds.
+        rate_mbps: Allocated rate during the session.
+    """
+
+    terminal_name: str
+    sat_id: str
+    station_name: str
+    terminal_party: str
+    sat_party: str
+    start_s: float
+    stop_s: float
+    rate_mbps: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.stop_s - self.start_s
+
+    @property
+    def volume_megabits(self) -> float:
+        return self.rate_mbps * self.duration_s
+
+    @property
+    def is_spare_capacity(self) -> bool:
+        """True when the session rides another party's satellite."""
+        return self.terminal_party != self.sat_party

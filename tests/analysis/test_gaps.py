@@ -1,0 +1,64 @@
+"""Tests for gap-distribution analytics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.gaps import (
+    GapDistribution,
+    pooled_gap_distribution,
+    survival_curve,
+)
+
+
+class TestGapDistribution:
+    def test_empty(self):
+        dist = GapDistribution.from_gaps(np.array([]))
+        assert dist.count == 0
+        assert dist.max_s == 0.0
+
+    def test_single_gap(self):
+        dist = GapDistribution.from_gaps(np.array([120.0]))
+        assert dist.count == 1
+        assert dist.mean_s == 120.0
+        assert dist.median_s == 120.0
+        assert dist.max_s == 120.0
+
+    def test_percentiles_ordered(self):
+        rng = np.random.default_rng(0)
+        dist = GapDistribution.from_gaps(rng.exponential(300.0, size=1000))
+        assert dist.median_s <= dist.p90_s <= dist.p99_s <= dist.max_s
+
+    def test_from_mask(self):
+        mask = np.array([True, False, False, True, False, True])
+        dist = GapDistribution.from_mask(mask, 60.0)
+        assert dist.count == 2
+        assert dist.total_s == 180.0
+
+    def test_pooled(self):
+        masks = [
+            np.array([True, False, True]),
+            np.array([False, False, True]),
+        ]
+        dist = pooled_gap_distribution(masks, 60.0)
+        assert dist.count == 2
+        assert dist.total_s == 180.0
+
+    def test_pooled_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            pooled_gap_distribution([], 60.0)
+
+
+class TestSurvivalCurve:
+    def test_empty_gaps(self):
+        assert survival_curve([], [10.0, 20.0]) == [0.0, 0.0]
+
+    def test_known_values(self):
+        gaps = [10.0, 20.0, 30.0, 40.0]
+        curve = survival_curve(gaps, [0.0, 25.0, 50.0])
+        assert curve == [1.0, 0.5, 0.0]
+
+    def test_nonincreasing(self):
+        rng = np.random.default_rng(1)
+        gaps = rng.exponential(100.0, size=500)
+        curve = survival_curve(gaps, np.linspace(0, 1000, 20))
+        assert all(b <= a for a, b in zip(curve, curve[1:]))

@@ -1,0 +1,135 @@
+"""Tests for global coverage grids."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.heatmap import (
+    CoverageGrid,
+    compute_coverage_grid,
+    coverage_equity,
+)
+from repro.constellation.satellite import Constellation, Satellite
+from repro.constellation.walker import walker_delta
+from repro.orbits.elements import OrbitalElements
+from repro.sim.clock import TimeGrid
+
+
+@pytest.fixture
+def grid():
+    return TimeGrid.hours(3.0, step_s=300.0)
+
+
+def _walker(count=40, inclination=53.0):
+    elements = walker_delta(count, 8, 1, inclination_deg=inclination, altitude_km=550.0)
+    return Constellation(
+        [Satellite(sat_id=f"W-{i}", elements=e) for i, e in enumerate(elements)]
+    )
+
+
+class TestComputeCoverageGrid:
+    def test_shapes(self, grid):
+        result = compute_coverage_grid(
+            _walker(), grid, lat_step_deg=30.0, lon_step_deg=30.0
+        )
+        assert result.latitudes_deg.shape == (6,)
+        assert result.longitudes_deg.shape == (12,)
+        assert result.covered_fraction.shape == (6, 12)
+
+    def test_fractions_in_range(self, grid):
+        result = compute_coverage_grid(
+            _walker(), grid, lat_step_deg=30.0, lon_step_deg=30.0
+        )
+        assert np.all(result.covered_fraction >= 0.0)
+        assert np.all(result.covered_fraction <= 1.0)
+
+    def test_53deg_walker_misses_poles(self, grid):
+        result = compute_coverage_grid(
+            _walker(inclination=53.0), grid, lat_step_deg=30.0, lon_step_deg=30.0
+        )
+        # Polar rows (|lat| = 75) see nothing at a 25-degree mask.
+        assert result.covered_fraction[0].max() == 0.0
+        assert result.covered_fraction[-1].max() == 0.0
+
+    def test_mid_latitudes_covered(self, grid):
+        result = compute_coverage_grid(
+            _walker(count=80), grid, lat_step_deg=30.0, lon_step_deg=30.0
+        )
+        mid_rows = result.covered_fraction[1:-1]
+        assert mid_rows.mean() > 0.0
+
+    def test_rejects_bad_steps(self, grid):
+        with pytest.raises(ValueError, match="steps"):
+            compute_coverage_grid(_walker(), grid, lat_step_deg=0.0)
+
+
+class TestGridMetrics:
+    def _uniform_grid(self, value):
+        lats = np.array([45.0, -45.0])
+        lons = np.array([0.0, 90.0])
+        return CoverageGrid(lats, lons, np.full((2, 2), value))
+
+    def test_area_weights_sum_to_one(self):
+        result = self._uniform_grid(0.5)
+        assert result.area_weights().sum() == pytest.approx(1.0)
+
+    def test_global_fraction_uniform(self):
+        assert self._uniform_grid(0.7).global_coverage_fraction == pytest.approx(0.7)
+
+    def test_equator_weighs_more_than_pole(self, grid):
+        result = compute_coverage_grid(
+            _walker(), grid, lat_step_deg=30.0, lon_step_deg=30.0
+        )
+        weights = result.area_weights()
+        assert weights[2] > weights[0]  # 15 deg row vs 75 deg row.
+
+    def test_band_coverage_rows(self):
+        result = self._uniform_grid(0.5)
+        bands = result.band_coverage()
+        assert len(bands) == 2
+        assert bands[0] == (45.0, 0.5)
+
+    def test_render_ascii_dimensions(self):
+        result = self._uniform_grid(0.999)
+        rendered = result.render_ascii()
+        lines = rendered.splitlines()
+        assert len(lines) == 2
+        assert all(len(line) == 2 for line in lines)
+        assert rendered.count("@") == 4
+
+
+class TestEquity:
+    def test_uniform_coverage_perfectly_fair(self):
+        lats = np.array([45.0, -45.0])
+        lons = np.array([0.0, 90.0])
+        result = CoverageGrid(lats, lons, np.full((2, 2), 0.6))
+        assert coverage_equity(result) == pytest.approx(1.0)
+
+    def test_concentrated_coverage_unfair(self):
+        lats = np.array([45.0, -45.0])
+        lons = np.array([0.0, 90.0])
+        concentrated = np.zeros((2, 2))
+        concentrated[0, 0] = 1.0
+        result = CoverageGrid(lats, lons, concentrated)
+        assert coverage_equity(result) < 0.5
+
+    def test_zero_coverage_defined(self):
+        lats = np.array([45.0])
+        lons = np.array([0.0])
+        result = CoverageGrid(lats, lons, np.zeros((1, 1)))
+        assert coverage_equity(result) == 1.0
+
+    def test_global_walker_fairer_than_clustered(self, grid):
+        """The decentralization point: interleaved global designs spread
+        coverage evenly; clustered ones concentrate it."""
+        from repro.core.placement import clustered_design
+
+        walker = compute_coverage_grid(
+            _walker(count=80), grid, lat_step_deg=30.0, lon_step_deg=30.0
+        )
+        clustered = compute_coverage_grid(
+            clustered_design(80, np.random.default_rng(0)),
+            grid,
+            lat_step_deg=30.0,
+            lon_step_deg=30.0,
+        )
+        assert coverage_equity(walker) > coverage_equity(clustered)

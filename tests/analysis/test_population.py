@@ -1,0 +1,46 @@
+"""Tests for population-weighted metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.population import (
+    unweighted_city_coverage,
+    weighted_city_coverage,
+    weighted_coverage_from_masks,
+)
+from repro.ground.cities import CITIES
+from repro.sim.clock import TimeGrid
+
+
+class TestWeightedCityCoverage:
+    def test_matches_manual(self, small_walker):
+        grid = TimeGrid.hours(3.0, step_s=120.0)
+        cities = CITIES[:3]
+        fraction = weighted_city_coverage(small_walker, grid, cities)
+        assert 0.0 <= fraction <= 1.0
+
+    def test_more_satellites_more_coverage(self, small_walker):
+        grid = TimeGrid.hours(6.0, step_s=120.0)
+        cities = CITIES[:3]
+        few = weighted_city_coverage(small_walker.take(range(5)), grid, cities)
+        many = weighted_city_coverage(small_walker, grid, cities)
+        assert many >= few
+
+    def test_from_masks_weighting(self):
+        # City 0 (largest population) fully covered, others uncovered.
+        masks = np.zeros((3, 10), dtype=bool)
+        masks[0] = True
+        fraction = weighted_coverage_from_masks(masks, CITIES[:3])
+        weights_total = sum(city.population_millions for city in CITIES[:3])
+        expected = CITIES[0].population_millions / weights_total
+        assert fraction == pytest.approx(expected)
+
+
+class TestUnweighted:
+    def test_mean(self):
+        masks = np.array([[True, True], [False, False]])
+        assert unweighted_city_coverage(masks) == pytest.approx(0.5)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match=r"\(S, T\)"):
+            unweighted_city_coverage(np.ones(5, dtype=bool))

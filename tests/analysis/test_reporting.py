@@ -1,0 +1,63 @@
+"""Tests for report rendering."""
+
+import pytest
+
+from repro.analysis.reporting import Series, Table
+
+
+class TestTable:
+    def test_render_contains_rows(self):
+        table = Table("demo", ["n", "coverage"])
+        table.add_row(100, 0.5)
+        table.add_row(1000, 0.995)
+        rendered = table.render()
+        assert "demo" in rendered
+        assert "100" in rendered
+        assert "0.995" in rendered
+
+    def test_alignment_consistent(self):
+        table = Table("t", ["a", "b"])
+        table.add_row("xx", 1)
+        table.add_row("yyyy", 22)
+        lines = table.render().splitlines()
+        data_lines = lines[1:]
+        assert len({len(line) for line in data_lines}) == 1
+
+    def test_precision(self):
+        table = Table("t", ["x"], precision=1)
+        table.add_row(3.14159)
+        assert "3.1" in table.render()
+        assert "3.14" not in table.render()
+
+    def test_wrong_arity_rejected(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(ValueError, match="cells"):
+            table.add_row(1)
+
+    def test_empty_table_renders(self):
+        table = Table("empty", ["a"])
+        assert "empty" in table.render()
+
+    def test_int_not_decimalized(self):
+        table = Table("t", ["n"])
+        table.add_row(1000)
+        assert "1000" in table.render()
+        assert "1000.000" not in table.render()
+
+
+class TestSeries:
+    def test_points_rendered(self):
+        series = Series("fig2", "satellites", "uncovered %")
+        series.add_point(100, 61.0)
+        series.add_point(1000, 0.5)
+        rendered = series.render()
+        assert "fig2" in rendered
+        assert "satellites -> uncovered %" in rendered
+        assert "100" in rendered
+
+    def test_accessors(self):
+        series = Series("s", "x", "y")
+        series.add_point(1, 10.0)
+        series.add_point(2, 20.0)
+        assert series.xs == [1.0, 2.0]
+        assert series.ys == [10.0, 20.0]

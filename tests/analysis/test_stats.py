@@ -1,0 +1,107 @@
+"""Tests for Monte-Carlo statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    Estimate,
+    bootstrap_confidence_interval,
+    mean_confidence_interval,
+    runs_needed_for_half_width,
+)
+
+
+class TestMeanCI:
+    def test_point_estimate(self):
+        estimate = mean_confidence_interval([1.0, 2.0, 3.0])
+        assert estimate.mean == pytest.approx(2.0)
+        assert estimate.count == 3
+
+    def test_interval_contains_mean(self):
+        estimate = mean_confidence_interval([1.0, 2.0, 3.0, 4.0])
+        assert estimate.ci_low <= estimate.mean <= estimate.ci_high
+
+    def test_single_sample_degenerate(self):
+        estimate = mean_confidence_interval([5.0])
+        assert estimate.ci_low == estimate.ci_high == 5.0
+
+    def test_more_samples_tighter(self):
+        rng = np.random.default_rng(0)
+        small = mean_confidence_interval(rng.normal(0, 1, 10))
+        large = mean_confidence_interval(rng.normal(0, 1, 1000))
+        assert large.half_width < small.half_width
+
+    def test_higher_confidence_wider(self):
+        samples = list(np.random.default_rng(1).normal(0, 1, 50))
+        ci90 = mean_confidence_interval(samples, confidence=0.90)
+        ci99 = mean_confidence_interval(samples, confidence=0.99)
+        assert ci99.half_width > ci90.half_width
+
+    def test_coverage_calibration(self):
+        """~95% of CIs should contain the true mean."""
+        rng = np.random.default_rng(2)
+        hits = 0
+        trials = 400
+        for _ in range(trials):
+            samples = rng.normal(10.0, 2.0, 30)
+            estimate = mean_confidence_interval(samples)
+            if estimate.ci_low <= 10.0 <= estimate.ci_high:
+                hits += 1
+        assert hits / trials == pytest.approx(0.95, abs=0.04)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            mean_confidence_interval([])
+
+    def test_rejects_unknown_confidence(self):
+        with pytest.raises(ValueError, match="confidence"):
+            mean_confidence_interval([1.0, 2.0], confidence=0.5)
+
+    def test_str_format(self):
+        text = str(mean_confidence_interval([1.0, 2.0, 3.0]))
+        assert "3 runs" in text
+
+
+class TestBootstrapCI:
+    def test_interval_contains_mean_for_symmetric_data(self, rng):
+        samples = rng.normal(5.0, 1.0, 100)
+        estimate = bootstrap_confidence_interval(samples, rng)
+        assert estimate.ci_low < 5.1
+        assert estimate.ci_high > 4.9
+
+    def test_close_to_normal_ci_for_gaussian(self, rng):
+        samples = rng.normal(0.0, 1.0, 200)
+        normal = mean_confidence_interval(samples)
+        boot = bootstrap_confidence_interval(samples, rng)
+        assert boot.half_width == pytest.approx(normal.half_width, rel=0.3)
+
+    def test_rejects_bad_params(self, rng):
+        with pytest.raises(ValueError, match="at least one"):
+            bootstrap_confidence_interval([], rng)
+        with pytest.raises(ValueError, match="resamples"):
+            bootstrap_confidence_interval([1.0, 2.0], rng, resamples=10)
+        with pytest.raises(ValueError, match="confidence"):
+            bootstrap_confidence_interval([1.0, 2.0], rng, confidence=1.5)
+
+
+class TestRunsNeeded:
+    def test_formula(self):
+        # std = 1, z = 1.96, target 0.1 -> ~385 runs.
+        pilot = list(np.random.default_rng(3).normal(0, 1.0, 2000))
+        needed = runs_needed_for_half_width(pilot, 0.1)
+        assert 330 <= needed <= 440
+
+    def test_constant_pilot_needs_one(self):
+        assert runs_needed_for_half_width([5.0, 5.0, 5.0], 0.1) == 1
+
+    def test_tighter_target_more_runs(self):
+        pilot = list(np.random.default_rng(4).normal(0, 1.0, 100))
+        assert runs_needed_for_half_width(pilot, 0.05) > runs_needed_for_half_width(
+            pilot, 0.5
+        )
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError, match="half-width"):
+            runs_needed_for_half_width([1.0, 2.0], 0.0)
+        with pytest.raises(ValueError, match="pilot"):
+            runs_needed_for_half_width([1.0], 0.1)

@@ -1,0 +1,38 @@
+"""Tests for idle-time distribution analytics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.utilization import IdleTimeSummary, idle_reduction_series
+
+
+class TestIdleTimeSummary:
+    def test_from_uniform_fractions(self):
+        summary = IdleTimeSummary.from_fractions(np.full(100, 0.99))
+        assert summary.mean == pytest.approx(0.99)
+        assert summary.std == pytest.approx(0.0)
+        assert summary.mean_percent == pytest.approx(99.0)
+
+    def test_ordering(self):
+        rng = np.random.default_rng(0)
+        summary = IdleTimeSummary.from_fractions(rng.uniform(0.5, 1.0, 1000))
+        assert summary.minimum <= summary.p10 <= summary.median
+        assert summary.median <= summary.p90 <= summary.maximum
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            IdleTimeSummary.from_fractions(np.array([]))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="\\[0, 1\\]"):
+            IdleTimeSummary.from_fractions(np.array([1.2]))
+
+
+class TestIdleReduction:
+    def test_diff(self):
+        series = idle_reduction_series([0.99, 0.97, 0.96])
+        assert np.allclose(series, [0.02, 0.01])
+
+    def test_rejects_short(self):
+        with pytest.raises(ValueError, match="two points"):
+            idle_reduction_series([0.99])

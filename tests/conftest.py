@@ -1,0 +1,96 @@
+"""Shared fixtures for the test suite.
+
+Tests use short horizons (hours, not the paper's week) so the whole suite
+runs in seconds; the experiment-level tests that need longer horizons are
+marked slow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.constellation.satellite import Constellation, Satellite
+
+# Property tests run numpy-heavy code whose first call pays JIT/allocation
+# warmup; disable the wall-clock deadline so they never flake on slow CI.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+from repro.constellation.walker import single_plane, walker_delta
+from repro.ground.cities import TAIPEI
+from repro.orbits.elements import OrbitalElements
+from repro.sim.clock import TimeGrid
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def leo_elements() -> OrbitalElements:
+    """A Starlink-like circular orbit."""
+    return OrbitalElements.from_degrees(
+        altitude_km=550.0, inclination_deg=53.0, raan_deg=40.0, mean_anomaly_deg=10.0
+    )
+
+
+@pytest.fixture
+def eccentric_elements() -> OrbitalElements:
+    """A mildly eccentric orbit to exercise the general propagation path."""
+    return OrbitalElements.from_degrees(
+        altitude_km=700.0,
+        inclination_deg=63.4,
+        raan_deg=120.0,
+        arg_perigee_deg=270.0,
+        mean_anomaly_deg=45.0,
+        eccentricity=0.05,
+    )
+
+
+@pytest.fixture
+def short_grid() -> TimeGrid:
+    """Six hours at one-minute steps."""
+    return TimeGrid.hours(6.0, step_s=60.0)
+
+
+@pytest.fixture
+def tiny_grid() -> TimeGrid:
+    """Ninety minutes (about one orbit) at 30-second steps."""
+    return TimeGrid(duration_s=90 * 60.0, step_s=30.0)
+
+
+@pytest.fixture
+def small_walker() -> Constellation:
+    """A 40-satellite Walker delta constellation."""
+    elements = walker_delta(40, 8, 1, inclination_deg=53.0, altitude_km=550.0)
+    return Constellation(
+        [
+            Satellite(sat_id=f"W-{index:03d}", elements=element)
+            for index, element in enumerate(elements)
+        ],
+        name="walker-40",
+    )
+
+
+@pytest.fixture
+def plane_of_four() -> Constellation:
+    """Four satellites 90 degrees apart in one plane (Fig. 4c base)."""
+    elements = single_plane(4, 53.0, 546.0)
+    return Constellation(
+        [
+            Satellite(sat_id=f"P4-{index}", elements=element)
+            for index, element in enumerate(elements)
+        ],
+        name="plane-4",
+    )
+
+
+@pytest.fixture
+def taipei_terminal():
+    return TAIPEI.terminal()

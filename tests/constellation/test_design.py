@@ -1,0 +1,82 @@
+"""Tests for the Fig. 4 design-space helpers."""
+
+import pytest
+
+from repro.constellation.design import (
+    altitude_variant,
+    fig4b_base_constellation,
+    fig4c_base_constellation,
+    inclination_variant,
+    phase_sweep_candidates,
+    phase_variant,
+)
+
+
+class TestFig4bBase:
+    def test_twelve_satellites(self):
+        assert len(fig4b_base_constellation()) == 12
+
+    def test_thirty_degree_spacing(self):
+        base = fig4b_base_constellation()
+        anomalies = sorted(s.elements.mean_anomaly_deg for s in base)
+        gaps = [b - a for a, b in zip(anomalies, anomalies[1:])]
+        assert all(gap == pytest.approx(30.0) for gap in gaps)
+
+    def test_paper_parameters(self):
+        base = fig4b_base_constellation()
+        assert base[0].elements.inclination_deg == pytest.approx(53.0)
+        assert base[0].elements.altitude_km == pytest.approx(546.0)
+
+
+class TestPhaseSweep:
+    def test_29_candidates(self):
+        base = fig4b_base_constellation()[0].elements
+        candidates = phase_sweep_candidates(base)
+        assert len(candidates) == 29
+
+    def test_one_degree_spacing(self):
+        base = fig4b_base_constellation()[0].elements
+        candidates = phase_sweep_candidates(base)
+        offsets = [
+            (c.elements.mean_anomaly_deg - base.mean_anomaly_deg) % 360.0
+            for c in candidates
+        ]
+        assert offsets[0] == pytest.approx(1.0)
+        assert offsets[-1] == pytest.approx(29.0)
+
+    def test_same_plane(self):
+        base = fig4b_base_constellation()[0].elements
+        for candidate in phase_sweep_candidates(base):
+            assert candidate.elements.raan_rad == base.raan_rad
+            assert candidate.elements.inclination_rad == base.inclination_rad
+
+    def test_rejects_zero_positions(self):
+        base = fig4b_base_constellation()[0].elements
+        with pytest.raises(ValueError, match="positive"):
+            phase_sweep_candidates(base, positions=0)
+
+
+class TestFig4cVariants:
+    def test_base_has_four(self):
+        assert len(fig4c_base_constellation()) == 4
+
+    def test_inclination_variant(self):
+        base = fig4c_base_constellation()[0].elements
+        variant = inclination_variant(base, 43.0)
+        assert variant.elements.inclination_deg == pytest.approx(43.0)
+        assert variant.elements.altitude_km == pytest.approx(base.altitude_km)
+
+    def test_altitude_variant(self):
+        base = fig4c_base_constellation()[0].elements
+        variant = altitude_variant(base, 600.0)
+        assert variant.elements.altitude_km == pytest.approx(600.0)
+        assert variant.elements.inclination_rad == base.inclination_rad
+        assert variant.elements.mean_anomaly_rad == base.mean_anomaly_rad
+
+    def test_phase_variant(self):
+        base = fig4c_base_constellation()[0].elements
+        variant = phase_variant(base, 45.0)
+        assert (
+            variant.elements.mean_anomaly_deg - base.mean_anomaly_deg
+        ) % 360.0 == pytest.approx(45.0)
+        assert variant.elements.altitude_km == pytest.approx(base.altitude_km)

@@ -1,0 +1,116 @@
+"""Tests for constellation serialization."""
+
+import json
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.constellation.io import (
+    from_json,
+    from_tle_text,
+    satellite_from_dict,
+    satellite_to_dict,
+    to_json,
+    to_tle_text,
+)
+from repro.constellation.satellite import Constellation, Satellite
+from repro.orbits.elements import OrbitalElements
+
+
+def _sat(sat_id="S1", party="taiwan", **element_kwargs):
+    defaults = dict(
+        altitude_km=550.0, inclination_deg=53.0, raan_deg=42.0,
+        mean_anomaly_deg=123.0,
+    )
+    defaults.update(element_kwargs)
+    return Satellite(
+        sat_id=sat_id,
+        elements=OrbitalElements.from_degrees(**defaults),
+        name=f"name-{sat_id}",
+        party=party,
+        capacity_mbps=500.0,
+    )
+
+
+class TestJsonRoundtrip:
+    def test_roundtrip_preserves_everything(self):
+        original = Constellation([_sat("A"), _sat("B", party="korea")], name="demo")
+        restored = from_json(to_json(original))
+        assert restored.name == "demo"
+        assert len(restored) == 2
+        for before, after in zip(original, restored):
+            assert after.sat_id == before.sat_id
+            assert after.party == before.party
+            assert after.capacity_mbps == before.capacity_mbps
+            assert after.elements.semi_major_axis_m == pytest.approx(
+                before.elements.semi_major_axis_m
+            )
+            assert after.elements.raan_rad == pytest.approx(before.elements.raan_rad)
+
+    def test_output_is_valid_json(self):
+        parsed = json.loads(to_json(Constellation([_sat()])))
+        assert parsed["schema_version"] == 1
+        assert len(parsed["satellites"]) == 1
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            from_json("{not json")
+
+    def test_wrong_schema_rejected(self):
+        payload = json.loads(to_json(Constellation([_sat()])))
+        payload["schema_version"] = 99
+        with pytest.raises(ValueError, match="schema version"):
+            from_json(json.dumps(payload))
+
+    def test_defaults_applied(self):
+        data = satellite_to_dict(_sat())
+        del data["party"]
+        del data["capacity_mbps"]
+        restored = satellite_from_dict(data)
+        assert restored.party == "unassigned"
+        assert restored.capacity_mbps == 1000.0
+
+    @given(
+        st.floats(400.0, 2000.0),
+        st.floats(1.0, 179.0),
+        st.floats(0.0, 359.9),
+        st.floats(0.0, 0.05),
+    )
+    def test_roundtrip_random_orbits(self, altitude, inclination, raan, ecc):
+        satellite = Satellite(
+            sat_id="X",
+            elements=OrbitalElements.from_degrees(
+                altitude_km=altitude,
+                inclination_deg=inclination,
+                raan_deg=raan,
+                eccentricity=ecc,
+            ),
+        )
+        restored = from_json(to_json(Constellation([satellite])))[0]
+        assert restored.elements.inclination_deg == pytest.approx(inclination)
+        assert restored.elements.eccentricity == pytest.approx(ecc)
+
+
+class TestTleRoundtrip:
+    def test_export_import(self):
+        original = Constellation([_sat("A"), _sat("B", raan_deg=120.0)])
+        text = to_tle_text(original)
+        restored = from_tle_text(text)
+        assert len(restored) == 2
+        for before, after in zip(original, restored):
+            assert after.elements.inclination_deg == pytest.approx(
+                before.elements.inclination_deg, abs=1e-3
+            )
+            assert after.elements.semi_major_axis_m == pytest.approx(
+                before.elements.semi_major_axis_m, rel=1e-6
+            )
+
+    def test_party_metadata_dropped_and_defaulted(self):
+        original = Constellation([_sat("A", party="taiwan")])
+        restored = from_tle_text(to_tle_text(original), party="imported")
+        assert restored[0].party == "imported"
+
+    def test_names_preserved(self):
+        original = Constellation([_sat("A")])
+        restored = from_tle_text(to_tle_text(original))
+        assert restored[0].name == "name-A"

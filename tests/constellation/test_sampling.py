@@ -1,0 +1,77 @@
+"""Tests for constellation sampling."""
+
+import numpy as np
+import pytest
+
+from repro.constellation.sampling import (
+    sample_constellation,
+    sample_elements,
+    split_randomly,
+)
+
+
+class TestSampleConstellation:
+    def test_size(self, small_walker, rng):
+        assert len(sample_constellation(small_walker, 10, rng)) == 10
+
+    def test_without_replacement(self, small_walker, rng):
+        sampled = sample_constellation(small_walker, 40, rng)
+        assert len({satellite.sat_id for satellite in sampled}) == 40
+
+    def test_subset_of_source(self, small_walker, rng):
+        sampled = sample_constellation(small_walker, 15, rng)
+        source_ids = {satellite.sat_id for satellite in small_walker}
+        assert all(satellite.sat_id in source_ids for satellite in sampled)
+
+    def test_seeded_reproducible(self, small_walker):
+        a = sample_constellation(small_walker, 10, np.random.default_rng(1))
+        b = sample_constellation(small_walker, 10, np.random.default_rng(1))
+        assert [s.sat_id for s in a] == [s.sat_id for s in b]
+
+    def test_different_seeds_differ(self, small_walker):
+        a = sample_constellation(small_walker, 10, np.random.default_rng(1))
+        b = sample_constellation(small_walker, 10, np.random.default_rng(2))
+        assert [s.sat_id for s in a] != [s.sat_id for s in b]
+
+    def test_oversample_rejected(self, small_walker, rng):
+        with pytest.raises(ValueError, match="cannot sample"):
+            sample_constellation(small_walker, 41, rng)
+
+    def test_negative_rejected(self, small_walker, rng):
+        with pytest.raises(ValueError, match="non-negative"):
+            sample_constellation(small_walker, -1, rng)
+
+    def test_zero_sample(self, small_walker, rng):
+        assert len(sample_constellation(small_walker, 0, rng)) == 0
+
+    def test_sample_elements(self, small_walker, rng):
+        elements = sample_elements(small_walker, 5, rng)
+        assert len(elements) == 5
+
+
+class TestSplitRandomly:
+    def test_half_split_sizes(self, small_walker, rng):
+        kept, withdrawn = split_randomly(small_walker, 0.5, rng)
+        assert len(kept) == 20
+        assert len(withdrawn) == 20
+
+    def test_disjoint_and_complete(self, small_walker, rng):
+        kept, withdrawn = split_randomly(small_walker, 0.3, rng)
+        kept_ids = {satellite.sat_id for satellite in kept}
+        withdrawn_ids = {satellite.sat_id for satellite in withdrawn}
+        assert not kept_ids & withdrawn_ids
+        assert len(kept_ids | withdrawn_ids) == 40
+
+    def test_zero_fraction(self, small_walker, rng):
+        kept, withdrawn = split_randomly(small_walker, 0.0, rng)
+        assert len(kept) == 40
+        assert len(withdrawn) == 0
+
+    def test_full_fraction(self, small_walker, rng):
+        kept, withdrawn = split_randomly(small_walker, 1.0, rng)
+        assert len(kept) == 0
+        assert len(withdrawn) == 40
+
+    def test_bad_fraction_rejected(self, small_walker, rng):
+        with pytest.raises(ValueError, match="fraction"):
+            split_randomly(small_walker, 1.5, rng)

@@ -1,0 +1,155 @@
+"""Tests for Satellite and Constellation containers."""
+
+import pytest
+
+from repro.constellation.satellite import (
+    Constellation,
+    Satellite,
+    UNASSIGNED_PARTY,
+    from_elements,
+)
+from repro.orbits.elements import OrbitalElements
+
+
+def _sat(sat_id, party=UNASSIGNED_PARTY):
+    return Satellite(
+        sat_id=sat_id,
+        elements=OrbitalElements.from_degrees(altitude_km=550.0, inclination_deg=53.0),
+        party=party,
+    )
+
+
+class TestSatellite:
+    def test_defaults(self):
+        satellite = _sat("S1")
+        assert satellite.party == UNASSIGNED_PARTY
+        assert satellite.capacity_mbps == 1000.0
+
+    def test_owned_by(self):
+        owned = _sat("S1").owned_by("taiwan")
+        assert owned.party == "taiwan"
+        assert owned.sat_id == "S1"
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            _sat("S1").party = "x"
+
+
+class TestConstellation:
+    def test_len_and_iter(self):
+        constellation = Constellation([_sat("A"), _sat("B")])
+        assert len(constellation) == 2
+        assert [satellite.sat_id for satellite in constellation] == ["A", "B"]
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Constellation([_sat("A"), _sat("A")])
+
+    def test_get(self):
+        constellation = Constellation([_sat("A"), _sat("B")])
+        assert constellation.get("B").sat_id == "B"
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            Constellation([_sat("A")]).get("Z")
+
+    def test_contains(self):
+        constellation = Constellation([_sat("A")])
+        assert "A" in constellation
+        assert "B" not in constellation
+
+    def test_empty_constellation_allowed(self):
+        assert len(Constellation([])) == 0
+
+    def test_by_party(self):
+        constellation = Constellation(
+            [_sat("A", "x"), _sat("B", "y"), _sat("C", "x")]
+        )
+        assert len(constellation.by_party("x")) == 2
+        assert len(constellation.by_party("z")) == 0
+
+    def test_without_party(self):
+        constellation = Constellation(
+            [_sat("A", "x"), _sat("B", "y"), _sat("C", "x")]
+        )
+        remaining = constellation.without_party("x")
+        assert [satellite.sat_id for satellite in remaining] == ["B"]
+
+    def test_party_counts(self):
+        constellation = Constellation(
+            [_sat("A", "x"), _sat("B", "y"), _sat("C", "x")]
+        )
+        assert constellation.party_counts() == {"x": 2, "y": 1}
+
+    def test_parties_sorted(self):
+        constellation = Constellation([_sat("A", "z"), _sat("B", "a")])
+        assert constellation.parties == ["a", "z"]
+
+    def test_union(self):
+        left = Constellation([_sat("A")])
+        right = Constellation([_sat("B")])
+        assert len(left.union(right)) == 2
+
+    def test_union_id_collision_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Constellation([_sat("A")]).union(Constellation([_sat("A")]))
+
+    def test_add(self):
+        grown = Constellation([_sat("A")]).add(_sat("B"))
+        assert len(grown) == 2
+
+    def test_remove_ids(self):
+        constellation = Constellation([_sat("A"), _sat("B"), _sat("C")])
+        remaining = constellation.remove_ids(["A", "C"])
+        assert [satellite.sat_id for satellite in remaining] == ["B"]
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown"):
+            Constellation([_sat("A")]).remove_ids(["B"])
+
+    def test_take(self):
+        constellation = Constellation([_sat("A"), _sat("B"), _sat("C")])
+        taken = constellation.take([2, 0])
+        assert [satellite.sat_id for satellite in taken] == ["C", "A"]
+
+    def test_assign_parties(self):
+        constellation = Constellation([_sat("A"), _sat("B")])
+        assigned = constellation.assign_parties(
+            lambda index, satellite: f"party-{index}"
+        )
+        assert assigned.get("A").party == "party-0"
+        assert assigned.get("B").party == "party-1"
+
+    def test_immutability_of_source(self):
+        constellation = Constellation([_sat("A")])
+        constellation.add(_sat("B"))
+        assert len(constellation) == 1
+
+    def test_elements_accessor(self):
+        constellation = Constellation([_sat("A"), _sat("B")])
+        assert len(constellation.elements) == 2
+
+    def test_repr(self):
+        constellation = Constellation([_sat("A")], name="demo")
+        assert "demo" in repr(constellation)
+        assert "1 satellites" in repr(constellation)
+
+
+class TestFromElements:
+    def test_generates_ids(self):
+        elements = [
+            OrbitalElements.from_degrees(altitude_km=550.0, inclination_deg=53.0)
+        ] * 3
+        constellation = from_elements(elements, prefix="T")
+        assert [satellite.sat_id for satellite in constellation] == [
+            "T-00000",
+            "T-00001",
+            "T-00002",
+        ]
+
+    def test_party_applied(self):
+        elements = [
+            OrbitalElements.from_degrees(altitude_km=550.0, inclination_deg=53.0)
+        ]
+        constellation = from_elements(elements, party="korea")
+        assert constellation[0].party == "korea"

@@ -1,0 +1,95 @@
+"""Tests for synthetic megaconstellation shells."""
+
+import numpy as np
+import pytest
+
+from repro.constellation.shells import (
+    KUIPER_SHELLS,
+    ONEWEB_SHELLS,
+    STARLINK_SHELLS,
+    ShellSpec,
+    build_shell,
+    kuiper_like_constellation,
+    oneweb_like_constellation,
+    starlink_like_constellation,
+)
+
+
+class TestShellSpecs:
+    def test_starlink_gen1_total(self):
+        assert sum(shell.total_satellites for shell in STARLINK_SHELLS) == 4408
+
+    def test_kuiper_total(self):
+        assert sum(shell.total_satellites for shell in KUIPER_SHELLS) == 3236
+
+    def test_oneweb_total(self):
+        assert sum(shell.total_satellites for shell in ONEWEB_SHELLS) == 588
+
+    def test_starlink_shells_divide_into_planes(self):
+        for shell in STARLINK_SHELLS:
+            assert shell.total_satellites % shell.planes == 0
+
+
+class TestBuildShell:
+    def test_exact_count(self):
+        spec = ShellSpec("test", 100, 10, 1, 53.0, 550.0)
+        assert len(build_shell(spec)) == 100
+
+    def test_no_jitter_is_deterministic(self):
+        spec = ShellSpec("test", 20, 4, 1, 53.0, 550.0)
+        a = build_shell(spec)
+        b = build_shell(spec)
+        assert all(x.raan_rad == y.raan_rad for x, y in zip(a, b))
+
+    def test_jitter_requires_rng(self):
+        spec = ShellSpec("test", 20, 4, 1, 53.0, 550.0)
+        with pytest.raises(ValueError, match="rng"):
+            build_shell(spec, raan_jitter_deg=1.0)
+
+    def test_jitter_perturbs(self):
+        spec = ShellSpec("test", 20, 4, 1, 53.0, 550.0)
+        clean = build_shell(spec)
+        jittered = build_shell(
+            spec, rng=np.random.default_rng(0), raan_jitter_deg=1.0, phase_jitter_deg=2.0
+        )
+        assert any(
+            abs(a.raan_rad - b.raan_rad) > 1e-9 for a, b in zip(clean, jittered)
+        )
+
+    def test_jitter_is_seeded(self):
+        spec = ShellSpec("test", 20, 4, 1, 53.0, 550.0)
+        a = build_shell(spec, rng=np.random.default_rng(5), raan_jitter_deg=1.0)
+        b = build_shell(spec, rng=np.random.default_rng(5), raan_jitter_deg=1.0)
+        assert all(x.raan_rad == y.raan_rad for x, y in zip(a, b))
+
+    def test_star_shell_uses_half_span(self):
+        spec = ShellSpec("polar", 24, 6, 1, 87.9, 1200.0, star=True)
+        raans = sorted({round(e.raan_deg, 3) for e in build_shell(spec)})
+        assert raans[-1] < 180.0
+
+
+class TestFullConstellations:
+    def test_starlink_size_and_ids_unique(self):
+        constellation = starlink_like_constellation(
+            rng=np.random.default_rng(0)
+        )
+        assert len(constellation) == 4408  # Uniqueness enforced by constructor.
+
+    def test_starlink_inclination_mix(self):
+        constellation = starlink_like_constellation(rng=np.random.default_rng(0))
+        inclinations = {
+            round(satellite.elements.inclination_deg, 1)
+            for satellite in constellation
+        }
+        assert {53.0, 53.2, 70.0, 97.6} <= inclinations
+
+    def test_kuiper_size(self):
+        assert len(kuiper_like_constellation(np.random.default_rng(0))) == 3236
+
+    def test_oneweb_size(self):
+        assert len(oneweb_like_constellation(np.random.default_rng(0))) == 588
+
+    def test_default_rng_reproducible(self):
+        a = starlink_like_constellation()
+        b = starlink_like_constellation()
+        assert a[0].elements.raan_rad == b[0].elements.raan_rad

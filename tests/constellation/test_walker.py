@@ -1,0 +1,92 @@
+"""Tests for Walker pattern generators."""
+
+import numpy as np
+import pytest
+
+from repro.constellation.walker import single_plane, walker_delta, walker_star
+
+
+class TestWalkerDelta:
+    def test_count(self):
+        assert len(walker_delta(40, 8, 1, 53.0, 550.0)) == 40
+
+    def test_plane_count(self):
+        shell = walker_delta(40, 8, 1, 53.0, 550.0)
+        raans = {round(element.raan_deg, 6) for element in shell}
+        assert len(raans) == 8
+
+    def test_nodes_span_360(self):
+        shell = walker_delta(40, 8, 1, 53.0, 550.0)
+        raans = sorted({round(element.raan_deg, 6) for element in shell})
+        assert raans[0] == pytest.approx(0.0)
+        assert raans[-1] == pytest.approx(360.0 * 7 / 8)
+
+    def test_in_plane_spacing_uniform(self):
+        shell = walker_delta(40, 8, 1, 53.0, 550.0)
+        plane0 = sorted(
+            element.mean_anomaly_deg
+            for element in shell
+            if abs(element.raan_deg) < 1e-9
+        )
+        gaps = np.diff(plane0)
+        assert np.allclose(gaps, 72.0)
+
+    def test_phasing_factor_offsets_planes(self):
+        shell = walker_delta(40, 8, 1, 53.0, 550.0)
+        plane0 = min(
+            element.mean_anomaly_deg
+            for element in shell
+            if abs(element.raan_deg) < 1e-9
+        )
+        plane1 = min(
+            element.mean_anomaly_deg
+            for element in shell
+            if abs(element.raan_deg - 45.0) < 1e-9
+        )
+        assert (plane1 - plane0) % 360.0 == pytest.approx(360.0 / 40.0)
+
+    def test_common_inclination_and_altitude(self):
+        shell = walker_delta(40, 8, 1, 53.0, 550.0)
+        assert all(element.inclination_deg == pytest.approx(53.0) for element in shell)
+        assert all(element.altitude_km == pytest.approx(550.0) for element in shell)
+
+    def test_uneven_division_rejected(self):
+        with pytest.raises(ValueError, match="divide evenly"):
+            walker_delta(41, 8, 1, 53.0, 550.0)
+
+    def test_bad_phasing_rejected(self):
+        with pytest.raises(ValueError, match="phasing_factor"):
+            walker_delta(40, 8, 8, 53.0, 550.0)
+
+    def test_zero_satellites_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            walker_delta(0, 1, 0, 53.0, 550.0)
+
+
+class TestWalkerStar:
+    def test_nodes_span_180(self):
+        shell = walker_star(24, 6, 1, 87.9, 1200.0)
+        raans = sorted({round(element.raan_deg, 6) for element in shell})
+        assert raans[-1] == pytest.approx(180.0 * 5 / 6)
+
+    def test_count(self):
+        assert len(walker_star(24, 6, 1, 87.9, 1200.0)) == 24
+
+
+class TestSinglePlane:
+    def test_uniform_spacing(self):
+        plane = single_plane(12, 53.0, 546.0)
+        anomalies = sorted(element.mean_anomaly_deg for element in plane)
+        assert np.allclose(np.diff(anomalies), 30.0)
+
+    def test_common_plane(self):
+        plane = single_plane(12, 53.0, 546.0)
+        assert len({element.raan_deg for element in plane}) == 1
+
+    def test_phase_offset(self):
+        plane = single_plane(4, 53.0, 546.0, phase_offset_deg=5.0)
+        assert min(element.mean_anomaly_deg for element in plane) == pytest.approx(5.0)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="positive"):
+            single_plane(0, 53.0, 546.0)

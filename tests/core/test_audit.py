@@ -1,0 +1,149 @@
+"""Tests for the service-denial auditor."""
+
+import numpy as np
+import pytest
+
+from repro.core.audit import (
+    PartyAuditReport,
+    audit_service_denial,
+    slashing_amounts,
+)
+from repro.sim.events import SessionEvent
+
+
+def _session(consumer, provider, sat_id, duration_s):
+    return SessionEvent(
+        terminal_name=f"ut-{consumer}",
+        sat_id=sat_id,
+        station_name="gs",
+        terminal_party=consumer,
+        sat_party=provider,
+        start_s=0.0,
+        stop_s=duration_s,
+        rate_mbps=10.0,
+    )
+
+
+@pytest.fixture
+def scenario():
+    """Two parties; each owns one satellite; horizon of 100 steps * 1 s.
+
+    Party 'good' serves the other party whenever only the other's terminal
+    is visible; party 'bad' never does.
+    """
+    horizon_s = 100.0
+    # visibility[terminal, satellite, t]; terminals: [a-term, b-term].
+    visibility = np.zeros((2, 2, 100), dtype=bool)
+    # Satellite 0 (owned by 'good'): b's terminal visible half the time.
+    visibility[1, 0, :50] = True
+    # Satellite 1 (owned by 'bad'): a's terminal visible half the time.
+    visibility[0, 1, :50] = True
+    terminal_parties = ["a", "b"]
+    satellite_parties = ["good", "bad"]
+    sat_ids = ["SAT-GOOD", "SAT-BAD"]
+    # 'good' serves b for the full opportunity window; 'bad' serves nothing.
+    sessions = [_session("b", "good", "SAT-GOOD", 50.0)]
+    return visibility, terminal_parties, satellite_parties, sessions, sat_ids, horizon_s
+
+
+class TestAudit:
+    def test_cooperative_party_clean(self, scenario):
+        reports = audit_service_denial(*scenario)
+        by_party = {report.party: report for report in reports}
+        assert by_party["good"].denial_score == pytest.approx(0.0)
+        assert not by_party["good"].suspicious
+
+    def test_denying_party_flagged(self, scenario):
+        reports = audit_service_denial(*scenario)
+        by_party = {report.party: report for report in reports}
+        assert by_party["bad"].denial_score == pytest.approx(1.0)
+        assert by_party["bad"].suspicious
+
+    def test_sorted_worst_first(self, scenario):
+        reports = audit_service_denial(*scenario)
+        assert reports[0].party == "bad"
+
+    def test_opportunity_measured_from_visibility(self, scenario):
+        reports = audit_service_denial(*scenario)
+        by_party = {report.party: report for report in reports}
+        assert by_party["bad"].opportunity_fraction == pytest.approx(0.5)
+
+    def test_partial_service_partial_score(self, scenario):
+        (visibility, terminal_parties, satellite_parties,
+         _, sat_ids, horizon_s) = scenario
+        sessions = [
+            _session("b", "good", "SAT-GOOD", 50.0),
+            _session("a", "bad", "SAT-BAD", 25.0),  # Half the opportunity.
+        ]
+        reports = audit_service_denial(
+            visibility, terminal_parties, satellite_parties,
+            sessions, sat_ids, horizon_s,
+        )
+        by_party = {report.party: report for report in reports}
+        assert by_party["bad"].denial_score == pytest.approx(0.5)
+
+    def test_no_opportunity_no_judgment(self):
+        visibility = np.zeros((1, 1, 10), dtype=bool)  # Nothing ever visible.
+        reports = audit_service_denial(
+            visibility, ["a"], ["b"], [], ["S"], 10.0
+        )
+        assert not reports[0].suspicious
+        assert reports[0].denial_score == 0.0
+
+    def test_threshold_tunable(self, scenario):
+        (visibility, terminal_parties, satellite_parties,
+         _, sat_ids, horizon_s) = scenario
+        sessions = [
+            _session("b", "good", "SAT-GOOD", 50.0),
+            _session("a", "bad", "SAT-BAD", 20.0),  # Denial score 0.6.
+        ]
+        strict = audit_service_denial(
+            visibility, terminal_parties, satellite_parties,
+            sessions, sat_ids, horizon_s, denial_threshold=0.5,
+        )
+        lenient = audit_service_denial(
+            visibility, terminal_parties, satellite_parties,
+            sessions, sat_ids, horizon_s, denial_threshold=0.7,
+        )
+        assert {r.party: r.suspicious for r in strict}["bad"]
+        assert not {r.party: r.suspicious for r in lenient}["bad"]
+
+    def test_rejects_bad_params(self, scenario):
+        (visibility, terminal_parties, satellite_parties,
+         sessions, sat_ids, _) = scenario
+        with pytest.raises(ValueError, match="horizon"):
+            audit_service_denial(
+                visibility, terminal_parties, satellite_parties,
+                sessions, sat_ids, 0.0,
+            )
+        with pytest.raises(ValueError, match="threshold"):
+            audit_service_denial(
+                visibility, terminal_parties, satellite_parties,
+                sessions, sat_ids, 100.0, denial_threshold=0.0,
+            )
+
+
+class TestSlashing:
+    def test_only_suspicious_slashed(self, scenario):
+        reports = audit_service_denial(*scenario)
+        amounts = slashing_amounts(
+            reports, {"good": 100.0, "bad": 100.0}, slash_rate=0.1
+        )
+        assert set(amounts) == {"bad"}
+        assert amounts["bad"] == pytest.approx(10.0)  # 0.1 * 1.0 * 100.
+
+    def test_proportional_to_denial(self, scenario):
+        (visibility, terminal_parties, satellite_parties,
+         _, sat_ids, horizon_s) = scenario
+        sessions = [_session("a", "bad", "SAT-BAD", 10.0)]  # Denial 0.8.
+        reports = audit_service_denial(
+            visibility, terminal_parties, satellite_parties,
+            sessions, sat_ids, horizon_s,
+        )
+        amounts = slashing_amounts(reports, {"bad": 100.0}, slash_rate=0.1)
+        assert amounts["bad"] == pytest.approx(8.0)
+
+    def test_rejects_bad_rate(self, scenario):
+        reports = audit_service_denial(*scenario)
+        with pytest.raises(ValueError, match="slash rate"):
+            slashing_amounts(reports, {}, slash_rate=0.0)

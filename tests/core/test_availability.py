@@ -1,0 +1,93 @@
+"""Tests for availability planning."""
+
+import pytest
+
+from repro.core.availability import (
+    AVAILABILITY_CLASSES,
+    extrapolate_size_for_availability,
+    mp_leo_contribution_plan,
+    satellites_for_availability,
+)
+
+# A Fig. 2-shaped curve (size, covered fraction).
+CURVE = [
+    (100, 0.39),
+    (200, 0.63),
+    (500, 0.92),
+    (1000, 0.995),
+    (2000, 0.99996),
+]
+
+
+class TestSatellitesForAvailability:
+    def test_reachable_target(self):
+        assert satellites_for_availability(0.99, CURVE) == 1000
+
+    def test_exact_boundary(self):
+        assert satellites_for_availability(0.92, CURVE) == 500
+
+    def test_unreachable_returns_none(self):
+        assert satellites_for_availability(0.99999, CURVE) is None
+
+    def test_unsorted_curve(self):
+        shuffled = [CURVE[3], CURVE[0], CURVE[4], CURVE[2], CURVE[1]]
+        assert satellites_for_availability(0.99, shuffled) == 1000
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            satellites_for_availability(0.9, [])
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(ValueError, match="target"):
+            satellites_for_availability(1.0, CURVE)
+
+
+class TestExtrapolation:
+    def test_measured_target_passthrough(self):
+        assert extrapolate_size_for_availability(0.99, CURVE) == 1000
+
+    def test_five_nines_needs_more_than_2000(self):
+        """§2: five-nines 'would require even larger constellations'."""
+        required = extrapolate_size_for_availability(
+            AVAILABILITY_CLASSES["five-nines"], CURVE
+        )
+        assert required > 2000
+
+    def test_extrapolation_monotone_in_target(self):
+        four = extrapolate_size_for_availability(0.9999, CURVE[:4])
+        five = extrapolate_size_for_availability(0.99999, CURVE[:4])
+        assert five > four
+
+    def test_rejects_degenerate_curve(self):
+        # No partial-coverage points to fit and the target is unreached.
+        with pytest.raises(ValueError, match="two partial"):
+            extrapolate_size_for_availability(0.5, [(10, 0.0), (20, 0.0)])
+
+    def test_rejects_non_improving_curve(self):
+        with pytest.raises(ValueError, match="not improving"):
+            extrapolate_size_for_availability(
+                0.9999, [(100, 0.9), (200, 0.8), (300, 0.7)]
+            )
+
+
+class TestContributionPlan:
+    def test_equal_split(self):
+        plan = mp_leo_contribution_plan(0.99, CURVE, party_count=10)
+        assert plan.network_size == 1000
+        assert plan.contribution_per_party == 100
+        assert plan.cost_reduction_factor == pytest.approx(10.0)
+
+    def test_rounding_up(self):
+        plan = mp_leo_contribution_plan(0.99, CURVE, party_count=3)
+        assert plan.contribution_per_party == 334
+
+    def test_rejects_zero_parties(self):
+        with pytest.raises(ValueError, match="party count"):
+            mp_leo_contribution_plan(0.99, CURVE, party_count=0)
+
+    def test_five_nines_plan(self):
+        plan = mp_leo_contribution_plan(
+            AVAILABILITY_CLASSES["five-nines"], CURVE, party_count=20
+        )
+        assert plan.network_size > 2000
+        assert plan.contribution_per_party < plan.network_size

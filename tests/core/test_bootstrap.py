@@ -1,0 +1,115 @@
+"""Tests for the bootstrapping / delay-tolerant analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.bootstrap import (
+    BULK_TRANSFER,
+    DelayTolerantApp,
+    DelayTolerantService,
+    IOT_TELEMETRY,
+    MESSAGING,
+    contact_wait_times_s,
+    early_adopter_issuance,
+)
+from repro.sim.clock import TimeGrid
+
+
+class TestContactWaitTimes:
+    def test_covered_step_waits_zero(self):
+        mask = np.array([True, False, False, True])
+        waits = contact_wait_times_s(mask, 60.0)
+        assert waits[0] == 0.0
+        assert waits[3] == 0.0
+
+    def test_wait_counts_down_to_contact(self):
+        mask = np.array([False, False, False, True])
+        waits = contact_wait_times_s(mask, 60.0)
+        assert list(waits) == [180.0, 120.0, 60.0, 0.0]
+
+    def test_wraparound_after_last_contact(self):
+        mask = np.array([True, False, False])
+        waits = contact_wait_times_s(mask, 60.0)
+        # After the contact at step 0, the next is the wrapped step 0.
+        assert list(waits) == [0.0, 120.0, 60.0]
+
+    def test_no_contact_is_infinite(self):
+        waits = contact_wait_times_s(np.zeros(5, dtype=bool), 60.0)
+        assert np.all(np.isinf(waits))
+
+    def test_all_covered_all_zero(self):
+        waits = contact_wait_times_s(np.ones(5, dtype=bool), 60.0)
+        assert np.all(waits == 0.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            contact_wait_times_s(np.array([], dtype=bool), 60.0)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            contact_wait_times_s(np.zeros((2, 2), dtype=bool), 60.0)
+
+
+class TestApps:
+    def test_builtin_apps_ordering(self):
+        assert MESSAGING.max_wait_s < IOT_TELEMETRY.max_wait_s < BULK_TRANSFER.max_wait_s
+
+    def test_rejects_bad_wait(self):
+        with pytest.raises(ValueError, match="positive"):
+            DelayTolerantApp("x", max_wait_s=0.0)
+
+
+class TestService:
+    @pytest.fixture
+    def service(self):
+        return DelayTolerantService(TimeGrid(duration_s=6000.0, step_s=60.0))
+
+    def test_sparse_coverage_feasible_for_bulk(self, service):
+        # One 10-minute contact per 100-minute cycle: p95 wait ~ 85 min.
+        mask = np.zeros(100, dtype=bool)
+        mask[:10] = True
+        result = service.evaluate(BULK_TRANSFER, "site", mask)
+        assert result.feasible
+        assert result.max_wait_s == pytest.approx(90 * 60.0)
+
+    def test_same_coverage_infeasible_for_messaging(self, service):
+        mask = np.zeros(100, dtype=bool)
+        mask[:10] = True
+        result = service.evaluate(MESSAGING, "site", mask)
+        assert not result.feasible
+
+    def test_no_coverage_infeasible(self, service):
+        result = service.evaluate(BULK_TRANSFER, "site", np.zeros(100, dtype=bool))
+        assert not result.feasible
+        assert result.mean_wait_s == float("inf")
+
+    def test_full_coverage_always_feasible(self, service):
+        result = service.evaluate(MESSAGING, "site", np.ones(100, dtype=bool))
+        assert result.feasible
+        assert result.mean_wait_s == 0.0
+
+
+class TestIssuance:
+    def test_initial(self):
+        assert early_adopter_issuance(0) == 1000.0
+
+    def test_halving(self):
+        assert early_adopter_issuance(52) == 500.0
+        assert early_adopter_issuance(104) == 250.0
+
+    def test_within_epoch_constant(self):
+        assert early_adopter_issuance(10) == early_adopter_issuance(51)
+
+    def test_monotone_nonincreasing(self):
+        values = [early_adopter_issuance(epoch) for epoch in range(0, 300, 10)]
+        assert all(b <= a for a, b in zip(values, values[1:]))
+
+    def test_rejects_negative_epoch(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            early_adopter_issuance(-1)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            early_adopter_issuance(0, initial_issuance=0.0)
+        with pytest.raises(ValueError):
+            early_adopter_issuance(0, halving_epochs=0)

@@ -1,0 +1,104 @@
+"""Tests for satellite failure and attrition models."""
+
+import numpy as np
+import pytest
+
+from repro.core.failures import (
+    AttritionPoint,
+    FailureModel,
+    replenishment_rate_for_steady_state,
+    simulate_attrition,
+)
+
+
+class TestFailureModel:
+    def test_sample_shape(self, rng):
+        model = FailureModel(mean_lifetime_years=5.0)
+        lifetimes = model.sample_lifetimes_years(100, rng)
+        assert lifetimes.shape == (100,)
+        assert np.all(lifetimes >= 0.0)
+
+    def test_mean_lifetime_approx(self):
+        model = FailureModel(mean_lifetime_years=5.0, infant_mortality_prob=0.0)
+        lifetimes = model.sample_lifetimes_years(50_000, np.random.default_rng(0))
+        assert lifetimes.mean() == pytest.approx(5.0, rel=0.05)
+
+    def test_infant_mortality_fraction(self):
+        model = FailureModel(mean_lifetime_years=5.0, infant_mortality_prob=0.1)
+        lifetimes = model.sample_lifetimes_years(50_000, np.random.default_rng(1))
+        assert (lifetimes == 0.0).mean() == pytest.approx(0.1, abs=0.01)
+
+    def test_surviving_fraction_decays(self):
+        model = FailureModel(mean_lifetime_years=5.0, infant_mortality_prob=0.02)
+        fractions = [model.surviving_fraction(year) for year in range(0, 11, 2)]
+        assert fractions[0] == pytest.approx(0.98)
+        assert all(b < a for a, b in zip(fractions, fractions[1:]))
+
+    def test_survival_at_mean_lifetime(self):
+        model = FailureModel(mean_lifetime_years=5.0, infant_mortality_prob=0.0)
+        assert model.surviving_fraction(5.0) == pytest.approx(np.exp(-1.0))
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            FailureModel(mean_lifetime_years=0.0)
+        with pytest.raises(ValueError):
+            FailureModel(infant_mortality_prob=1.0)
+
+    def test_rejects_zero_count(self, rng):
+        with pytest.raises(ValueError, match="positive"):
+            FailureModel().sample_lifetimes_years(0, rng)
+
+    def test_rejects_negative_age(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            FailureModel().surviving_fraction(-1.0)
+
+
+class TestAttrition:
+    def test_monotone_decline_without_replenishment(self, small_walker, rng):
+        model = FailureModel(mean_lifetime_years=3.0)
+        points = simulate_attrition(small_walker, model, rng, horizon_years=6.0)
+        alive = [point.alive for point in points]
+        assert alive[0] <= len(small_walker)
+        assert all(b <= a for a, b in zip(alive, alive[1:]))
+
+    def test_epoch_zero_excludes_infant_mortality_only(self, small_walker):
+        model = FailureModel(mean_lifetime_years=5.0, infant_mortality_prob=0.0)
+        points = simulate_attrition(
+            small_walker, model, np.random.default_rng(2), horizon_years=5.0
+        )
+        assert points[0].alive == len(small_walker)
+
+    def test_replenishment_slows_decline(self, small_walker):
+        model = FailureModel(mean_lifetime_years=2.0)
+        without = simulate_attrition(
+            small_walker, model, np.random.default_rng(3), horizon_years=4.0
+        )
+        with_replenish = simulate_attrition(
+            small_walker,
+            model,
+            np.random.default_rng(3),
+            horizon_years=4.0,
+            replenish_per_year=10,
+        )
+        assert with_replenish[-1].alive >= without[-1].alive
+
+    def test_alive_indices_consistent(self, small_walker, rng):
+        model = FailureModel()
+        points = simulate_attrition(small_walker, model, rng)
+        for point in points:
+            assert point.alive == point.alive_indices.size
+            assert np.all(point.alive_indices < len(small_walker))
+
+    def test_rejects_bad_epochs(self, small_walker, rng):
+        with pytest.raises(ValueError, match="epochs"):
+            simulate_attrition(small_walker, FailureModel(), rng, epochs=1)
+
+
+class TestSteadyState:
+    def test_rate(self):
+        model = FailureModel(mean_lifetime_years=5.0)
+        assert replenishment_rate_for_steady_state(1000, model) == pytest.approx(200.0)
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError, match="positive"):
+            replenishment_rate_for_steady_state(0, FailureModel())

@@ -1,0 +1,101 @@
+"""Tests for parties and stake arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.party import (
+    Party,
+    PartyObjective,
+    contribution_ratio_split,
+    stake_shares,
+)
+
+
+class TestParty:
+    def test_defaults(self):
+        party = Party("taiwan")
+        assert party.objective is PartyObjective.GLOBAL_PROFIT
+        assert party.launch_budget == 0
+
+    def test_regional_party(self):
+        party = Party(
+            "taiwan",
+            objective=PartyObjective.REGIONAL_COVERAGE,
+            home_region="Taipei",
+            launch_budget=50,
+        )
+        assert party.home_region == "Taipei"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="name"):
+            Party("")
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError, match="budget"):
+            Party("x", launch_budget=-1)
+
+
+class TestStakeShares:
+    def test_single_party(self):
+        assert stake_shares({"a": 10}) == {"a": 1.0}
+
+    def test_proportional(self):
+        shares = stake_shares({"a": 30, "b": 10})
+        assert shares["a"] == pytest.approx(0.75)
+        assert shares["b"] == pytest.approx(0.25)
+
+    def test_sums_to_one(self):
+        shares = stake_shares({"a": 7, "b": 13, "c": 91})
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ValueError, match="contribute"):
+            stake_shares({"a": 0})
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            stake_shares({"a": -1})
+
+
+class TestRatioSplit:
+    def test_equal_split(self):
+        counts = contribution_ratio_split(1000, [1.0] * 11)
+        assert sum(counts) == 1000
+        # 1000 / 11 = 90.9 -> mix of 90s and 91s (the paper's "91 each").
+        assert set(counts) <= {90, 91}
+
+    def test_paper_skew_10_to_1(self):
+        counts = contribution_ratio_split(1000, [10.0] + [1.0] * 10)
+        assert sum(counts) == 1000
+        assert counts[0] == 500  # 10/20 of 1000, the paper's 500.
+        assert all(count == 50 for count in counts[1:])
+
+    def test_exact_division(self):
+        assert contribution_ratio_split(100, [1.0, 1.0]) == [50, 50]
+
+    def test_largest_remainder_assignment(self):
+        counts = contribution_ratio_split(10, [1.0, 1.0, 1.0])
+        assert sum(counts) == 10
+        assert sorted(counts) == [3, 3, 4]
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            contribution_ratio_split(0, [1.0])
+        with pytest.raises(ValueError):
+            contribution_ratio_split(10, [])
+        with pytest.raises(ValueError):
+            contribution_ratio_split(10, [1.0, -1.0])
+
+    @given(
+        st.integers(1, 5000),
+        st.lists(st.floats(0.1, 100.0), min_size=1, max_size=20),
+    )
+    def test_always_sums_to_total(self, total, ratios):
+        counts = contribution_ratio_split(total, ratios)
+        assert sum(counts) == total
+        assert all(count >= 0 for count in counts)
+
+    @given(st.integers(10, 1000))
+    def test_monotone_in_ratio(self, total):
+        counts = contribution_ratio_split(total, [5.0, 1.0])
+        assert counts[0] >= counts[1]

@@ -1,0 +1,126 @@
+"""Tests for withdrawal/robustness analysis."""
+
+import numpy as np
+import pytest
+
+from repro.constellation.satellite import Constellation, Satellite
+from repro.core.party import Party
+from repro.core.registry import MultiPartyConstellation
+from repro.core.robustness import (
+    WithdrawalImpact,
+    coverage_fraction_of,
+    impact_from_packed,
+    largest_party_withdrawal,
+    proportionality_gap,
+    random_withdrawal_impact,
+)
+from repro.ground.cities import CITIES
+from repro.sim.clock import TimeGrid
+from repro.sim.visibility import packed_visibility
+
+
+@pytest.fixture
+def grid():
+    return TimeGrid.hours(6.0, step_s=120.0)
+
+
+@pytest.fixture
+def cities():
+    return CITIES[:4]
+
+
+class TestWithdrawalImpact:
+    def test_reduction_math(self):
+        impact = WithdrawalImpact(0.8, 0.6, horizon_s=1000.0)
+        assert impact.reduction_fraction == pytest.approx(0.2)
+        assert impact.reduction_percent == pytest.approx(20.0)
+        assert impact.lost_time_s == pytest.approx(200.0)
+
+    def test_no_loss(self):
+        impact = WithdrawalImpact(0.5, 0.5, horizon_s=100.0)
+        assert impact.reduction_fraction == 0.0
+
+
+class TestRandomWithdrawal:
+    def test_impact_nonnegative(self, small_walker, grid, cities, rng):
+        impact = random_withdrawal_impact(small_walker, 0.5, grid, rng, cities)
+        assert impact.reduction_fraction >= 0.0
+        assert impact.reduced_fraction <= impact.base_fraction
+
+    def test_zero_fraction_no_loss(self, small_walker, grid, cities, rng):
+        impact = random_withdrawal_impact(small_walker, 0.0, grid, rng, cities)
+        assert impact.reduction_fraction == pytest.approx(0.0)
+
+    def test_full_withdrawal_drops_to_zero(self, small_walker, grid, cities, rng):
+        impact = random_withdrawal_impact(small_walker, 1.0, grid, rng, cities)
+        assert impact.reduced_fraction == 0.0
+
+
+class TestLargestPartyWithdrawal:
+    def _registry(self, constellation, big, small):
+        registry = MultiPartyConstellation()
+        registry.join(Party("big"))
+        registry.join(Party("small"))
+        registry.contribute("big", [constellation[i] for i in range(big)])
+        registry.contribute(
+            "small", [constellation[i] for i in range(big, big + small)]
+        )
+        return registry
+
+    def test_largest_withdrawn(self, small_walker, grid, cities):
+        registry = self._registry(small_walker, 30, 10)
+        impact = largest_party_withdrawal(registry, grid, cities)
+        assert impact.reduction_fraction >= 0.0
+        # Remaining quarter of the constellation covers less than the whole.
+        assert impact.reduced_fraction <= impact.base_fraction
+
+    def test_skew_hurts_more_than_balance(self, small_walker, grid, cities):
+        skewed = self._registry(small_walker, 30, 10)
+        balanced = self._registry(small_walker, 20, 20)
+        skewed_impact = largest_party_withdrawal(skewed, grid, cities)
+        balanced_impact = largest_party_withdrawal(balanced, grid, cities)
+        assert (
+            skewed_impact.reduction_fraction
+            >= balanced_impact.reduction_fraction - 1e-9
+        )
+
+
+class TestPackedPath:
+    def test_matches_direct_computation(self, small_walker, grid, cities):
+        terminals = [city.terminal() for city in cities]
+        packed = packed_visibility(small_walker, terminals, grid)
+        weights = [city.population_millions for city in cities]
+
+        all_indices = np.arange(len(small_walker))
+        kept = np.arange(0, len(small_walker), 2)
+        impact = impact_from_packed(packed, weights, all_indices, kept)
+
+        base_direct = coverage_fraction_of(small_walker, grid, cities)
+        kept_direct = coverage_fraction_of(
+            small_walker.take(kept), grid, cities
+        )
+        assert impact.base_fraction == pytest.approx(base_direct)
+        assert impact.reduced_fraction == pytest.approx(kept_direct)
+
+
+class TestProportionality:
+    def test_proportional_loss_is_zero_gap(self):
+        impact = WithdrawalImpact(1.0, 0.75, horizon_s=100.0)
+        assert proportionality_gap(impact, 0.25) == pytest.approx(0.0)
+
+    def test_super_proportional_positive(self):
+        impact = WithdrawalImpact(1.0, 0.5, horizon_s=100.0)
+        assert proportionality_gap(impact, 0.25) > 0.0
+
+    def test_absorbed_exit_negative(self):
+        impact = WithdrawalImpact(1.0, 0.99, horizon_s=100.0)
+        assert proportionality_gap(impact, 0.25) < 0.0
+
+    def test_bad_stake_rejected(self):
+        impact = WithdrawalImpact(1.0, 0.9, horizon_s=100.0)
+        with pytest.raises(ValueError, match="stake"):
+            proportionality_gap(impact, 0.0)
+
+    def test_zero_base_guard(self):
+        impact = WithdrawalImpact(0.0, 0.0, horizon_s=100.0)
+        assert proportionality_gap(impact, 0.5) == 0.0

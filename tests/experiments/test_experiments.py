@@ -1,0 +1,189 @@
+"""Tests for the figure experiment harness.
+
+These use a coarse configuration (15-minute steps, 3 runs) so the whole
+module runs in a few seconds; the benchmark suite runs the full-fidelity
+versions.  Assertions target structure and the figure-level qualitative
+shapes that survive coarse sampling.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import common
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.fig2_coverage_vs_size import run_fig2
+from repro.experiments.fig3_idle_vs_cities import run_fig3
+from repro.experiments.fig4a_single_addition import run_fig4a
+from repro.experiments.fig4b_phase_sweep import run_fig4b
+from repro.experiments.fig4c_design_factors import run_fig4c
+from repro.experiments.fig5_withdrawal import run_fig5
+from repro.experiments.fig6_party_skew import run_fig6
+from repro.experiments.sharing_upside import run_sharing_upside
+
+COARSE = ExperimentConfig(runs=3, step_s=900.0, seed=7)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _clear_caches_after():
+    yield
+    common.clear_caches()
+
+
+class TestCommon:
+    def test_pool_cached(self):
+        assert common.starlink_pool() is common.starlink_pool()
+
+    def test_visibility_cached(self):
+        a = common.pool_visibility(COARSE)
+        b = common.pool_visibility(COARSE)
+        assert a is b
+
+    def test_city_weights_sum_to_one(self):
+        assert common.city_weights().sum() == pytest.approx(1.0)
+
+    def test_all_sites_layout(self):
+        assert common.ALL_SITES[common.TAIPEI_INDEX].name == "Taipei"
+        assert len(common.CITY_INDICES) == 21
+
+
+class TestFig2:
+    def test_monotone_coverage(self):
+        result = run_fig2(COARSE, sizes=(10, 100, 1000))
+        uncovered = [p.mean_uncovered_percent for p in result.points]
+        assert uncovered[0] > uncovered[1] > uncovered[2]
+
+    def test_paper_anchor_100_sats(self):
+        result = run_fig2(COARSE, sizes=(100,))
+        assert result.points[0].mean_uncovered_percent > 40.0
+
+    def test_paper_anchor_1000_sats(self):
+        result = run_fig2(COARSE, sizes=(1000,))
+        assert result.points[0].mean_uncovered_percent < 5.0
+
+    def test_series_accessor(self):
+        result = run_fig2(COARSE, sizes=(10, 100))
+        series = result.uncovered_percent_series()
+        assert [x for x, _ in series] == [10, 100]
+
+    def test_oversize_rejected(self):
+        with pytest.raises(ValueError, match="exceeds pool"):
+            run_fig2(COARSE, sizes=(10_000,))
+
+
+class TestFig3:
+    def test_idle_decreases_with_cities(self):
+        result = run_fig3(COARSE, city_counts=(1, 10, 21), sample_size=200)
+        idle = [p.mean_idle_percent for p in result.points]
+        assert idle[0] > idle[1] > idle[2]
+
+    def test_paper_anchor_one_city(self):
+        result = run_fig3(COARSE, city_counts=(1,), sample_size=200)
+        assert result.points[0].mean_idle_percent > 97.0
+
+    def test_bad_city_count_rejected(self):
+        with pytest.raises(ValueError, match="city count"):
+            run_fig3(COARSE, city_counts=(25,))
+
+    def test_bad_sample_rejected(self):
+        with pytest.raises(ValueError, match="sample_size"):
+            run_fig3(COARSE, sample_size=10_000)
+
+
+class TestFig4a:
+    def test_diminishing_returns(self):
+        result = run_fig4a(COARSE, base_sizes=(1, 500))
+        gains = {p.base_satellites: p.mean_gain_hours for p in result.points}
+        assert gains[1] > gains[500]
+
+    def test_gains_nonnegative(self):
+        result = run_fig4a(COARSE, base_sizes=(1, 100))
+        assert all(p.min_gain_hours >= 0.0 for p in result.points)
+
+    def test_max_at_least_mean(self):
+        result = run_fig4a(COARSE, base_sizes=(100,))
+        point = result.points[0]
+        assert point.max_gain_hours >= point.mean_gain_hours
+
+
+class TestFig4b:
+    def test_midpoint_wins(self):
+        result = run_fig4b(ExperimentConfig(runs=1, step_s=300.0))
+        assert result.best_offset_deg() == pytest.approx(15.0, abs=2.0)
+
+    def test_symmetry(self):
+        result = run_fig4b(ExperimentConfig(runs=1, step_s=300.0))
+        gains = result.gain_series()
+        # Gain at offset d ~ gain at offset 30 - d.
+        for (x1, g1), (x2, g2) in zip(gains, reversed(gains)):
+            assert g1 == pytest.approx(g2, abs=0.15)
+
+    def test_all_gains_nonnegative(self):
+        result = run_fig4b(ExperimentConfig(runs=1, step_s=300.0))
+        assert all(gain >= 0.0 for _, gain in result.gain_series())
+
+
+class TestFig4c:
+    def test_inclination_wins(self):
+        result = run_fig4c(ExperimentConfig(runs=1, step_s=300.0))
+        ranking = result.ranking()
+        assert ranking[0][0] == "inclination"
+
+    def test_all_factors_help(self):
+        result = run_fig4c(ExperimentConfig(runs=1, step_s=300.0))
+        assert all(gain > 0.25 for gain in result.gains_hours.values())
+
+
+class TestFig5:
+    def test_loss_decreases_with_scale(self):
+        result = run_fig5(COARSE, sizes=(200, 2000))
+        losses = {p.satellites: p.mean_reduction_percent for p in result.points}
+        assert losses[200] > losses[2000]
+
+    def test_paper_anchor_small_constellation(self):
+        result = run_fig5(COARSE, sizes=(200,))
+        assert result.points[0].mean_reduction_percent > 10.0
+
+    def test_paper_anchor_large_constellation(self):
+        result = run_fig5(COARSE, sizes=(2000,))
+        assert result.points[0].mean_reduction_percent < 3.0
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ValueError, match="fraction"):
+            run_fig5(COARSE, withdraw_fraction=1.0)
+
+
+class TestFig6:
+    def test_skew_increases_loss(self):
+        result = run_fig6(COARSE, skews=(1, 10))
+        losses = {p.skew: p.mean_reduction_percent for p in result.points}
+        assert losses[10] > losses[1]
+
+    def test_largest_party_sizes(self):
+        result = run_fig6(COARSE, skews=(1, 10))
+        sizes = {p.skew: p.largest_party_satellites for p in result.points}
+        assert sizes[1] == 91
+        assert sizes[10] == 500
+
+    def test_network_survives_worst_skew(self):
+        """Paper: even at 10:1 the network remains service-able."""
+        result = run_fig6(COARSE, skews=(10,))
+        assert result.points[0].mean_reduction_percent < 15.0
+
+
+class TestSharingUpside:
+    def test_paper_claim(self):
+        result = run_sharing_upside(COARSE)
+        upside = result.upside
+        assert upside.shared_coverage_fraction > upside.alone_coverage_fraction
+        # 50 contributed satellites buy coverage worth >= 1000 (the claim).
+        assert upside.equivalent_alone_satellites >= 1000
+        assert upside.satellite_multiplier >= 20.0
+
+    def test_calibration_monotone(self):
+        result = run_sharing_upside(COARSE)
+        coverages = [coverage for _, coverage in result.calibration]
+        assert all(b >= a - 0.02 for a, b in zip(coverages, coverages[1:]))
+
+    def test_bad_contribution_rejected(self):
+        with pytest.raises(ValueError, match="contributed"):
+            run_sharing_upside(COARSE, contributed=0)

@@ -1,0 +1,62 @@
+"""Tests for ground sites."""
+
+import numpy as np
+import pytest
+
+from repro.constants import EARTH_RADIUS_M
+from repro.ground.sites import GroundSite, GroundStation, UserTerminal
+
+
+class TestGroundSite:
+    def test_ecef_on_surface(self):
+        site = GroundSite("equator", 0.0, 0.0)
+        assert np.linalg.norm(site.position_ecef) == pytest.approx(EARTH_RADIUS_M)
+
+    def test_unit_vector(self):
+        site = GroundSite("x", 45.0, 45.0)
+        assert np.linalg.norm(site.unit_ecef) == pytest.approx(1.0)
+
+    def test_default_elevation_mask(self):
+        assert GroundSite("x", 0.0, 0.0).min_elevation_deg == 25.0
+
+    def test_bad_latitude_rejected(self):
+        with pytest.raises(ValueError, match="latitude"):
+            GroundSite("x", 91.0, 0.0)
+
+    def test_bad_longitude_rejected(self):
+        with pytest.raises(ValueError, match="longitude"):
+            GroundSite("x", 0.0, -500.0)
+
+    def test_bad_mask_rejected(self):
+        with pytest.raises(ValueError, match="elevation mask"):
+            GroundSite("x", 0.0, 0.0, min_elevation_deg=90.0)
+
+    def test_altitude_raises_site(self):
+        low = GroundSite("low", 10.0, 10.0, altitude_m=0.0)
+        high = GroundSite("high", 10.0, 10.0, altitude_m=2000.0)
+        assert np.linalg.norm(high.position_ecef) > np.linalg.norm(low.position_ecef)
+
+
+class TestUserTerminal:
+    def test_defaults(self):
+        terminal = UserTerminal("ut", 0.0, 0.0)
+        assert terminal.party == ""
+        assert terminal.demand_mbps == 100.0
+
+    def test_party(self):
+        terminal = UserTerminal("ut", 0.0, 0.0, party="taiwan")
+        assert terminal.party == "taiwan"
+
+    def test_is_ground_site(self):
+        assert isinstance(UserTerminal("ut", 0.0, 0.0), GroundSite)
+
+
+class TestGroundStation:
+    def test_defaults(self):
+        station = GroundStation("gs", 0.0, 0.0)
+        assert station.capacity_mbps == 10_000.0
+        assert not station.rented
+
+    def test_rented_flag(self):
+        station = GroundStation("gs", 0.0, 0.0, rented=True)
+        assert station.rented

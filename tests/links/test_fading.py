@@ -1,0 +1,138 @@
+"""Tests for rain attenuation and fade margins."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.links.fading import (
+    RainClimate,
+    effective_path_km,
+    fade_margin_db,
+    rain_attenuation_db,
+    rain_coefficients,
+    specific_attenuation_db_per_km,
+)
+
+
+class TestCoefficients:
+    def test_tabulated_point(self):
+        k, alpha = rain_coefficients(12.0e9)
+        assert k == pytest.approx(0.0188)
+        assert alpha == pytest.approx(1.217)
+
+    def test_interpolation_between_points(self):
+        k12, _ = rain_coefficients(12.0e9)
+        k15, _ = rain_coefficients(15.0e9)
+        k13, _ = rain_coefficients(13.5e9)
+        assert k12 < k13 < k15
+
+    def test_clamped_at_ends(self):
+        low_k, _ = rain_coefficients(1.0e9)
+        table_low_k, _ = rain_coefficients(4.0e9)
+        assert low_k == table_low_k
+
+    def test_rejects_zero_frequency(self):
+        with pytest.raises(ValueError, match="frequency"):
+            rain_coefficients(0.0)
+
+
+class TestSpecificAttenuation:
+    def test_zero_rain_zero_attenuation(self):
+        assert specific_attenuation_db_per_km(0.0, 12e9) == 0.0
+
+    def test_grows_with_rain_rate(self):
+        light = specific_attenuation_db_per_km(5.0, 12e9)
+        heavy = specific_attenuation_db_per_km(50.0, 12e9)
+        assert heavy > light > 0.0
+
+    def test_grows_with_frequency(self):
+        ku = specific_attenuation_db_per_km(25.0, 12e9)
+        ka = specific_attenuation_db_per_km(25.0, 20e9)
+        assert ka > ku
+
+    def test_ku_band_magnitude(self):
+        # 25 mm/h at 12 GHz -> ~0.9 dB/km (published P.838 ballpark).
+        gamma = specific_attenuation_db_per_km(25.0, 12e9)
+        assert 0.5 < gamma < 2.0
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValueError, match="rain rate"):
+            specific_attenuation_db_per_km(-1.0, 12e9)
+
+
+class TestPathAndTotal:
+    def test_zenith_path_is_rain_height(self):
+        assert effective_path_km(90.0, rain_height_m=4000.0) == pytest.approx(4.0)
+
+    def test_low_elevation_longer_path(self):
+        assert effective_path_km(25.0) > effective_path_km(60.0)
+
+    def test_floor_at_5_degrees(self):
+        assert effective_path_km(1.0) == effective_path_km(5.0)
+
+    def test_total_attenuation_combines(self):
+        total = rain_attenuation_db(25.0, 12e9, 90.0, rain_height_m=4000.0)
+        gamma = specific_attenuation_db_per_km(25.0, 12e9)
+        assert total == pytest.approx(4.0 * gamma)
+
+
+class TestClimate:
+    def test_sample_fraction_rainy(self):
+        climate = RainClimate(rainy_fraction=0.1)
+        rng = np.random.default_rng(0)
+        rates = climate.sample_rain_rates(50_000, rng)
+        assert (rates > 0.0).mean() == pytest.approx(0.1, abs=0.01)
+
+    def test_calibrated_exceedance(self):
+        """The 0.01%-of-time rate should match the planning statistic."""
+        climate = RainClimate(rate_exceeded_001_mm_h=42.0, rainy_fraction=0.06)
+        rng = np.random.default_rng(1)
+        rates = climate.sample_rain_rates(2_000_000, rng)
+        measured = float(np.quantile(rates, 1.0 - 1e-4))
+        assert measured == pytest.approx(42.0, rel=0.25)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            RainClimate(rate_exceeded_001_mm_h=0.0)
+        with pytest.raises(ValueError):
+            RainClimate(rainy_fraction=0.0)
+
+    def test_rejects_zero_count(self, rng):
+        with pytest.raises(ValueError, match="count"):
+            RainClimate().sample_rain_rates(0, rng)
+
+
+class TestFadeMargin:
+    def test_modest_target_needs_no_margin(self):
+        # 90% availability: it rains less than 10% of the time.
+        assert fade_margin_db(0.90, 12e9, 40.0) == 0.0
+
+    def test_higher_availability_more_margin(self):
+        m99 = fade_margin_db(0.99, 12e9, 40.0)
+        m999 = fade_margin_db(0.999, 12e9, 40.0)
+        m9999 = fade_margin_db(0.9999, 12e9, 40.0)
+        assert 0.0 <= m99 < m999 < m9999
+
+    def test_ka_needs_more_than_ku(self):
+        ku = fade_margin_db(0.999, 12e9, 40.0)
+        ka = fade_margin_db(0.999, 20e9, 40.0)
+        assert ka > ku
+
+    def test_tropical_worse_than_temperate(self):
+        temperate = RainClimate(rate_exceeded_001_mm_h=42.0)
+        tropical = RainClimate(rate_exceeded_001_mm_h=120.0)
+        assert fade_margin_db(0.999, 12e9, 40.0, tropical) > fade_margin_db(
+            0.999, 12e9, 40.0, temperate
+        )
+
+    def test_consistent_with_planning_statistic(self):
+        """Margin at 99.99% equals attenuation at the R(0.01%) rate."""
+        climate = RainClimate(rate_exceeded_001_mm_h=42.0)
+        margin = fade_margin_db(0.9999, 12e9, 40.0, climate)
+        direct = rain_attenuation_db(42.0, 12e9, 40.0)
+        assert margin == pytest.approx(direct, rel=0.01)
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(ValueError, match="target"):
+            fade_margin_db(1.0, 12e9, 40.0)

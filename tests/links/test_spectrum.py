@@ -1,0 +1,106 @@
+"""Tests for band plans and spectrum coordination."""
+
+import pytest
+
+from repro.links.spectrum import (
+    BandPlan,
+    BANDS_HZ,
+    Channel,
+    SpectrumConflictError,
+    SpectrumCoordinator,
+)
+
+
+class TestChannel:
+    def test_bounds(self):
+        channel = Channel(0, 14.1e9, 62.5e6)
+        assert channel.low_hz == pytest.approx(14.1e9 - 31.25e6)
+        assert channel.high_hz == pytest.approx(14.1e9 + 31.25e6)
+
+    def test_overlap_detection(self):
+        a = Channel(0, 14.10e9, 62.5e6)
+        b = Channel(1, 14.15e9, 62.5e6)
+        c = Channel(2, 14.30e9, 62.5e6)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_adjacent_channels_do_not_overlap(self):
+        a = Channel(0, 14.0e9, 50e6)
+        b = Channel(1, 14.05e9, 50e6)
+        assert not a.overlaps(b)
+
+
+class TestBandPlan:
+    def test_ku_uplink_channel_count(self):
+        # 500 MHz of Ku uplink at 62.5 MHz channels = 8 channels.
+        plan = BandPlan("Ku-uplink", 62.5e6)
+        assert len(plan.channels) == 8
+
+    def test_channels_within_band(self):
+        plan = BandPlan("Ka-downlink", 100e6)
+        low, high = BANDS_HZ["Ka-downlink"]
+        for channel in plan.channels:
+            assert channel.low_hz >= low - 1.0
+            assert channel.high_hz <= high + 1.0
+
+    def test_channels_disjoint(self):
+        plan = BandPlan("Ku-uplink", 62.5e6, guard_hz=5e6)
+        channels = plan.channels
+        for a, b in zip(channels, channels[1:]):
+            assert not a.overlaps(b)
+
+    def test_guard_band_reduces_count(self):
+        without = BandPlan("Ku-uplink", 50e6)
+        with_guard = BandPlan("Ku-uplink", 50e6, guard_hz=25e6)
+        assert len(with_guard.channels) < len(without.channels)
+
+    def test_unknown_band_rejected(self):
+        with pytest.raises(ValueError, match="unknown band"):
+            BandPlan("S-band", 1e6)
+
+    def test_bad_bandwidth_rejected(self):
+        with pytest.raises(ValueError, match="bandwidth"):
+            BandPlan("Ku-uplink", 0.0)
+
+
+class TestCoordinator:
+    def test_grant_and_release(self):
+        coordinator = SpectrumCoordinator(BandPlan("Ku-uplink", 62.5e6))
+        channel = coordinator.request("taiwan", "taipei")
+        assert coordinator.granted_channels("taipei") == {channel.index: "taiwan"}
+        coordinator.release("taiwan", "taipei", channel.index)
+        assert coordinator.granted_channels("taipei") == {}
+
+    def test_different_regions_independent(self):
+        coordinator = SpectrumCoordinator(BandPlan("Ku-uplink", 62.5e6))
+        a = coordinator.request("x", "taipei")
+        b = coordinator.request("y", "seoul")
+        assert a.index == b.index  # Same channel is fine across regions.
+
+    def test_same_region_gets_distinct_channels(self):
+        coordinator = SpectrumCoordinator(BandPlan("Ku-uplink", 62.5e6))
+        a = coordinator.request("x", "taipei")
+        b = coordinator.request("y", "taipei")
+        assert a.index != b.index
+
+    def test_exhaustion(self):
+        plan = BandPlan("Ku-uplink", 250e6)  # Only 2 channels.
+        coordinator = SpectrumCoordinator(plan)
+        coordinator.request("a", "r")
+        coordinator.request("b", "r")
+        with pytest.raises(SpectrumConflictError, match="no free channels"):
+            coordinator.request("c", "r")
+
+    def test_release_wrong_party_rejected(self):
+        coordinator = SpectrumCoordinator(BandPlan("Ku-uplink", 62.5e6))
+        channel = coordinator.request("x", "r")
+        with pytest.raises(KeyError, match="not held"):
+            coordinator.release("y", "r", channel.index)
+
+    def test_utilization(self):
+        plan = BandPlan("Ku-uplink", 62.5e6)  # 8 channels.
+        coordinator = SpectrumCoordinator(plan)
+        assert coordinator.utilization("r") == 0.0
+        coordinator.request("x", "r")
+        coordinator.request("y", "r")
+        assert coordinator.utilization("r") == pytest.approx(0.25)

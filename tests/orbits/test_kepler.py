@@ -1,0 +1,90 @@
+"""Tests for the Kepler-equation solvers."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.orbits.kepler import solve_kepler, solve_kepler_batch
+
+
+class TestScalarSolver:
+    def test_circular_is_identity(self):
+        assert solve_kepler(1.5, 0.0) == pytest.approx(1.5)
+
+    def test_zero_mean_anomaly(self):
+        assert solve_kepler(0.0, 0.3) == pytest.approx(0.0)
+
+    def test_pi_is_fixed_point(self):
+        # E = pi solves pi = E - e*sin(E) for any e.
+        assert solve_kepler(math.pi, 0.7) == pytest.approx(math.pi)
+
+    def test_known_value(self):
+        # Vallado example 2-1: M = 235.4 deg, e = 0.4 -> E = 220.512074 deg.
+        eccentric = solve_kepler(math.radians(235.4), 0.4)
+        assert math.degrees(eccentric) == pytest.approx(220.512074, abs=1e-4)
+
+    def test_rejects_eccentricity_one(self):
+        with pytest.raises(ValueError, match="eccentricity"):
+            solve_kepler(1.0, 1.0)
+
+    def test_rejects_negative_eccentricity(self):
+        with pytest.raises(ValueError, match="eccentricity"):
+            solve_kepler(1.0, -0.2)
+
+    def test_wraps_input(self):
+        direct = solve_kepler(0.5, 0.2)
+        wrapped = solve_kepler(0.5 + 2 * math.pi, 0.2)
+        assert wrapped == pytest.approx(direct)
+
+    @given(
+        st.floats(0.0, 2 * math.pi - 1e-9),
+        st.floats(0.0, 0.95),
+    )
+    def test_satisfies_keplers_equation(self, mean, eccentricity):
+        eccentric = solve_kepler(mean, eccentricity)
+        residual = eccentric - eccentricity * math.sin(eccentric) - mean
+        assert abs(residual) < 1e-9
+
+
+class TestBatchSolver:
+    def test_matches_scalar(self):
+        means = np.linspace(0.0, 2 * math.pi, 50, endpoint=False)
+        eccentricities = np.full_like(means, 0.3)
+        batch = solve_kepler_batch(means, eccentricities)
+        for mean, result in zip(means, batch):
+            assert result == pytest.approx(solve_kepler(float(mean), 0.3), abs=1e-9)
+
+    def test_broadcasting_scalar_eccentricity(self):
+        means = np.array([[0.1, 0.2], [0.3, 0.4]])
+        batch = solve_kepler_batch(means, np.array(0.1))
+        assert batch.shape == (2, 2)
+
+    def test_mixed_eccentricities(self):
+        means = np.array([1.0, 1.0, 1.0])
+        eccs = np.array([0.0, 0.3, 0.8])
+        batch = solve_kepler_batch(means, eccs)
+        residual = batch - eccs * np.sin(batch) - 1.0
+        assert np.all(np.abs(residual) < 1e-9)
+
+    def test_circular_batch_is_identity(self):
+        means = np.linspace(0.0, 6.0, 100)
+        batch = solve_kepler_batch(means, np.zeros(100))
+        assert np.allclose(batch, means)
+
+    def test_rejects_bad_eccentricity(self):
+        with pytest.raises(ValueError, match="eccentricities"):
+            solve_kepler_batch(np.array([1.0]), np.array([1.5]))
+
+    def test_empty_input(self):
+        result = solve_kepler_batch(np.array([]), np.array([]))
+        assert result.size == 0
+
+    def test_large_batch_converges(self):
+        rng = np.random.default_rng(7)
+        means = rng.uniform(0.0, 2 * math.pi, size=10_000)
+        eccs = rng.uniform(0.0, 0.9, size=10_000)
+        batch = solve_kepler_batch(means, eccs)
+        residual = batch - eccs * np.sin(batch) - means
+        assert np.max(np.abs(residual)) < 1e-9

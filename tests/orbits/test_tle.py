@@ -1,0 +1,158 @@
+"""Tests for TLE parsing and formatting."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.orbits.elements import OrbitalElements
+from repro.orbits.tle import (
+    TLE,
+    TLEError,
+    format_tle_file,
+    parse_tle_file,
+    tle_checksum,
+)
+
+# A real historical ISS TLE (checksums valid).
+ISS_LINE1 = "1 25544U 98067A   08264.51782528 -.00002182  00000-0 -11606-4 0  2927"
+ISS_LINE2 = "2 25544  51.6416 247.4627 0006703 130.5360 325.0288 15.72125391563537"
+
+
+class TestChecksum:
+    def test_iss_line1(self):
+        assert tle_checksum(ISS_LINE1) == int(ISS_LINE1[68])
+
+    def test_iss_line2(self):
+        assert tle_checksum(ISS_LINE2) == int(ISS_LINE2[68])
+
+    def test_minus_counts_as_one(self):
+        base = "1" + " " * 67
+        with_minus = "1-" + " " * 66
+        assert tle_checksum(with_minus) == (tle_checksum(base) + 1) % 10
+
+
+class TestParse:
+    def test_iss_fields(self):
+        tle = TLE.parse(ISS_LINE1, ISS_LINE2, name="ISS (ZARYA)")
+        assert tle.name == "ISS (ZARYA)"
+        assert tle.satellite_number == 25544
+        assert tle.epoch_year == 2008
+        assert tle.inclination_deg == pytest.approx(51.6416)
+        assert tle.raan_deg == pytest.approx(247.4627)
+        assert tle.eccentricity == pytest.approx(0.0006703)
+        assert tle.mean_motion_rev_day == pytest.approx(15.72125391)
+        assert tle.bstar == pytest.approx(-0.11606e-4)
+
+    def test_bad_checksum_rejected(self):
+        corrupted = ISS_LINE1[:-1] + "9"
+        with pytest.raises(TLEError, match="checksum"):
+            TLE.parse(corrupted, ISS_LINE2)
+
+    def test_short_line_rejected(self):
+        with pytest.raises(TLEError, match="too short"):
+            TLE.parse("1 25544U", ISS_LINE2)
+
+    def test_wrong_line_number_rejected(self):
+        with pytest.raises(TLEError, match="must start"):
+            TLE.parse(ISS_LINE2, ISS_LINE1)
+
+    def test_mismatched_satnum_rejected(self):
+        other2 = ISS_LINE2.replace("25544", "25545")
+        other2 = other2[:68] + str(tle_checksum(other2))
+        with pytest.raises(TLEError, match="satellite numbers"):
+            TLE.parse(ISS_LINE1, other2)
+
+    def test_old_epoch_years_map_to_1900s(self):
+        line1 = ISS_LINE1[:18] + "85" + ISS_LINE1[20:]
+        line1 = line1[:68] + str(tle_checksum(line1))
+        tle = TLE.parse(line1, ISS_LINE2)
+        assert tle.epoch_year == 1985
+
+
+class TestToElements:
+    def test_iss_semi_major_axis(self):
+        tle = TLE.parse(ISS_LINE1, ISS_LINE2)
+        elements = tle.to_elements()
+        # ISS altitude ~ 340-360 km in 2008.
+        assert 320.0 < elements.altitude_km < 380.0
+
+    def test_angles_converted(self):
+        tle = TLE.parse(ISS_LINE1, ISS_LINE2)
+        elements = tle.to_elements()
+        assert elements.inclination_deg == pytest.approx(51.6416)
+        assert math.degrees(elements.raan_rad) == pytest.approx(247.4627)
+
+
+class TestRoundtrip:
+    def test_format_parse_roundtrip(self):
+        tle = TLE.parse(ISS_LINE1, ISS_LINE2, name="ISS")
+        line1, line2 = tle.format()
+        reparsed = TLE.parse(line1, line2, name="ISS")
+        assert reparsed.inclination_deg == pytest.approx(tle.inclination_deg)
+        assert reparsed.raan_deg == pytest.approx(tle.raan_deg)
+        assert reparsed.eccentricity == pytest.approx(tle.eccentricity, abs=1e-7)
+        assert reparsed.mean_motion_rev_day == pytest.approx(
+            tle.mean_motion_rev_day, abs=1e-7
+        )
+        assert reparsed.bstar == pytest.approx(tle.bstar, rel=1e-4)
+
+    def test_elements_to_tle_roundtrip(self, leo_elements):
+        tle = TLE.from_elements(leo_elements, name="TEST", satellite_number=42)
+        line1, line2 = tle.format()
+        back = TLE.parse(line1, line2).to_elements()
+        assert back.semi_major_axis_m == pytest.approx(
+            leo_elements.semi_major_axis_m, rel=1e-6
+        )
+        assert back.inclination_deg == pytest.approx(
+            leo_elements.inclination_deg, abs=1e-3
+        )
+        assert back.mean_anomaly_deg == pytest.approx(
+            leo_elements.mean_anomaly_deg, abs=1e-3
+        )
+
+    @given(
+        st.floats(400.0, 2000.0),
+        st.floats(0.1, 179.9),
+        st.floats(0.0, 359.9),
+        st.floats(0.0, 359.9),
+        st.floats(0.0, 0.01),
+    )
+    def test_roundtrip_random_orbits(self, altitude, inclination, raan, anomaly, ecc):
+        elements = OrbitalElements.from_degrees(
+            altitude_km=altitude,
+            inclination_deg=inclination,
+            raan_deg=raan,
+            mean_anomaly_deg=anomaly,
+            eccentricity=ecc,
+        )
+        line1, line2 = TLE.from_elements(elements).format()
+        back = TLE.parse(line1, line2).to_elements()
+        assert back.inclination_deg == pytest.approx(inclination, abs=1e-3)
+        assert back.eccentricity == pytest.approx(ecc, abs=1e-6)
+
+
+class TestFile:
+    def test_three_line_file_roundtrip(self, leo_elements):
+        tles = [
+            TLE.from_elements(
+                leo_elements.with_raan_deg(float(raan)),
+                name=f"SAT-{raan}",
+                satellite_number=raan + 1,
+            )
+            for raan in range(5)
+        ]
+        text = format_tle_file(tles)
+        parsed = parse_tle_file(text)
+        assert len(parsed) == 5
+        assert [tle.name for tle in parsed] == [f"SAT-{i}" for i in range(5)]
+
+    def test_bare_two_line_file(self):
+        text = f"{ISS_LINE1}\n{ISS_LINE2}\n"
+        parsed = parse_tle_file(text)
+        assert len(parsed) == 1
+        assert parsed[0].satellite_number == 25544
+
+    def test_dangling_line_rejected(self):
+        with pytest.raises(TLEError, match="dangling"):
+            parse_tle_file(ISS_LINE1)

@@ -1,0 +1,78 @@
+"""Tests for event records and interval extraction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.events import ContactEvent, SessionEvent, intervals_from_mask
+
+
+class TestIntervals:
+    def test_empty_mask(self):
+        assert intervals_from_mask(np.array([], dtype=bool), 60.0) == []
+
+    def test_single_run(self):
+        mask = np.array([False, True, True, False])
+        assert intervals_from_mask(mask, 60.0) == [(60.0, 180.0)]
+
+    def test_run_to_end(self):
+        mask = np.array([False, True, True])
+        assert intervals_from_mask(mask, 10.0) == [(10.0, 30.0)]
+
+    def test_start_offset(self):
+        mask = np.array([True, False])
+        assert intervals_from_mask(mask, 10.0, start_s=100.0) == [(100.0, 110.0)]
+
+    def test_multiple_runs(self):
+        mask = np.array([True, False, True, True, False, True])
+        assert intervals_from_mask(mask, 1.0) == [
+            (0.0, 1.0),
+            (2.0, 4.0),
+            (5.0, 6.0),
+        ]
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            intervals_from_mask(np.ones((2, 2), dtype=bool), 1.0)
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=100))
+    def test_intervals_reconstruct_mask(self, bits):
+        mask = np.array(bits)
+        intervals = intervals_from_mask(mask, 1.0)
+        rebuilt = np.zeros_like(mask)
+        for start, stop in intervals:
+            rebuilt[int(start) : int(stop)] = True
+        assert np.array_equal(rebuilt, mask)
+
+
+class TestEvents:
+    def test_contact_duration(self):
+        contact = ContactEvent("taipei", "S1", 100.0, 400.0)
+        assert contact.duration_s == 300.0
+
+    def test_session_volume(self):
+        session = SessionEvent(
+            terminal_name="t",
+            sat_id="s",
+            station_name="g",
+            terminal_party="a",
+            sat_party="b",
+            start_s=0.0,
+            stop_s=100.0,
+            rate_mbps=50.0,
+        )
+        assert session.volume_megabits == pytest.approx(5000.0)
+        assert session.is_spare_capacity
+
+    def test_own_session_not_spare(self):
+        session = SessionEvent(
+            terminal_name="t",
+            sat_id="s",
+            station_name="g",
+            terminal_party="a",
+            sat_party="a",
+            start_s=0.0,
+            stop_s=10.0,
+            rate_mbps=1.0,
+        )
+        assert not session.is_spare_capacity

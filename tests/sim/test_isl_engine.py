@@ -1,0 +1,109 @@
+"""Tests for the ISL-capable bent-pipe engine."""
+
+import numpy as np
+import pytest
+
+from repro.constellation.satellite import Constellation, Satellite
+from repro.ground.sites import GroundStation, UserTerminal
+from repro.orbits.elements import OrbitalElements
+from repro.sim.clock import TimeGrid
+from repro.sim.engine import BentPipeSimulator
+from repro.sim.isl_engine import IslBentPipeSimulator
+
+
+def _equatorial_sat(sat_id, mean_anomaly_deg, party="p1"):
+    return Satellite(
+        sat_id=sat_id,
+        elements=OrbitalElements.from_degrees(
+            altitude_km=550.0, inclination_deg=0.1,
+            mean_anomaly_deg=mean_anomaly_deg,
+        ),
+        party=party,
+        capacity_mbps=1000.0,
+    )
+
+
+@pytest.fixture
+def split_geometry():
+    """Terminal at lon 0; the only ground station ~49 deg east (visible from
+    a satellite near lon 49, far outside the terminal-visible satellite's
+    footprint).  Satellites at 16-degree phase spacing chain the two."""
+    terminal = UserTerminal(
+        "ut", 0.0, 0.0, min_elevation_deg=25.0, party="p1", demand_mbps=100.0
+    )
+    station = GroundStation("gs", 0.0, 49.0, min_elevation_deg=25.0, party="p1")
+    satellites = [
+        _equatorial_sat(f"S{i}", mean_anomaly_deg=float(16 * i)) for i in range(4)
+    ]
+    return Constellation(satellites), [terminal], [station]
+
+
+class TestIslEngine:
+    def test_baseline_cannot_serve_split_geometry(self, split_geometry, rng):
+        constellation, terminals, stations = split_geometry
+        grid = TimeGrid(duration_s=120.0, step_s=60.0)
+        baseline = BentPipeSimulator(constellation, terminals, stations, grid)
+        result = baseline.run(rng)
+        assert result.served_mbps.sum() == 0.0
+
+    def test_isl_serves_split_geometry(self, split_geometry, rng):
+        constellation, terminals, stations = split_geometry
+        grid = TimeGrid(duration_s=120.0, step_s=60.0)
+        simulator = IslBentPipeSimulator(constellation, terminals, stations, grid)
+        result = simulator.run(rng)
+        assert result.served_mbps.sum() > 0.0
+        assert result.sessions
+
+    def test_hop_cap_restores_baseline(self, split_geometry, rng):
+        """With enough hops the chain works; with too few it does not."""
+        constellation, terminals, stations = split_geometry
+        grid = TimeGrid(duration_s=120.0, step_s=60.0)
+        generous = IslBentPipeSimulator(
+            constellation, terminals, stations, grid, max_hops=4
+        ).run(rng)
+        stingy = IslBentPipeSimulator(
+            constellation, terminals, stations, grid, max_hops=1
+        ).run(rng)
+        assert generous.served_mbps.sum() > 0.0
+        assert stingy.served_mbps.sum() <= generous.served_mbps.sum()
+
+    def test_isl_superset_of_baseline(self, rng):
+        """Whenever the baseline serves, the ISL engine serves at least as
+        much (forwarding only adds eligibility)."""
+        terminal = UserTerminal(
+            "ut", 0.0, 0.0, min_elevation_deg=25.0, party="p1", demand_mbps=100.0
+        )
+        station = GroundStation("gs", 0.5, 0.5, min_elevation_deg=10.0, party="p1")
+        constellation = Constellation(
+            [_equatorial_sat(f"S{i}", float(30 * i)) for i in range(6)]
+        )
+        grid = TimeGrid.hours(2.0, step_s=120.0)
+        base = BentPipeSimulator(constellation, [terminal], [station], grid).run(
+            np.random.default_rng(0)
+        )
+        isl = IslBentPipeSimulator(
+            constellation, [terminal], [station], grid
+        ).run(np.random.default_rng(0))
+        assert isl.served_mbps.sum() >= base.served_mbps.sum() - 1e-9
+
+    def test_rejects_bad_params(self, split_geometry):
+        constellation, terminals, stations = split_geometry
+        grid = TimeGrid(duration_s=60.0, step_s=60.0)
+        with pytest.raises(ValueError, match="range"):
+            IslBentPipeSimulator(
+                constellation, terminals, stations, grid, max_isl_range_m=0.0
+            )
+        with pytest.raises(ValueError, match="hops"):
+            IslBentPipeSimulator(
+                constellation, terminals, stations, grid, max_hops=0
+            )
+
+    def test_sessions_attribute_parties(self, split_geometry, rng):
+        constellation, terminals, stations = split_geometry
+        grid = TimeGrid(duration_s=120.0, step_s=60.0)
+        result = IslBentPipeSimulator(
+            constellation, terminals, stations, grid
+        ).run(rng)
+        for session in result.sessions:
+            assert session.terminal_party == "p1"
+            assert session.sat_party == "p1"

@@ -1,0 +1,221 @@
+"""Tests for the vectorized visibility engine and packed visibility."""
+
+import numpy as np
+import pytest
+
+from repro.constellation.satellite import Constellation, Satellite
+from repro.ground.sites import UserTerminal
+from repro.orbits.elements import OrbitalElements
+from repro.orbits.frames import eci_to_ecef, gmst_rad
+from repro.orbits.propagator import BatchPropagator
+from repro.orbits.topocentric import elevation_deg
+from repro.sim.clock import TimeGrid
+from repro.sim.visibility import (
+    PackedVisibility,
+    VisibilityEngine,
+    coverage_cos_thresholds,
+    packed_visibility,
+    visibility_matrix,
+)
+
+
+@pytest.fixture
+def equator_terminal():
+    return UserTerminal("eq", 0.0, 0.0, min_elevation_deg=25.0)
+
+
+class TestThresholds:
+    def test_shape(self):
+        thresholds = coverage_cos_thresholds(
+            np.array([7.0e6, 7.2e6]), np.array([6.37e6] * 3), np.array([10.0, 25.0, 40.0])
+        )
+        assert thresholds.shape == (3, 2)
+
+    def test_higher_mask_higher_threshold(self):
+        thresholds = coverage_cos_thresholds(
+            np.array([7.0e6]), np.array([6.37e6, 6.37e6]), np.array([10.0, 40.0])
+        )
+        assert thresholds[1, 0] > thresholds[0, 0]
+
+    def test_higher_orbit_lower_threshold(self):
+        thresholds = coverage_cos_thresholds(
+            np.array([6.9e6, 7.6e6]), np.array([6.37e6]), np.array([25.0])
+        )
+        assert thresholds[0, 1] < thresholds[0, 0]
+
+    def test_rejects_suborbital(self):
+        with pytest.raises(ValueError, match="orbital radius"):
+            coverage_cos_thresholds(
+                np.array([6.0e6]), np.array([6.37e6]), np.array([25.0])
+            )
+
+
+class TestVisibilityAgainstReference:
+    """The fast path must agree with explicit elevation computation."""
+
+    def test_matches_elevation_reference(self, small_walker, taipei_terminal, tiny_grid):
+        engine = VisibilityEngine(tiny_grid)
+        visible = engine.visibility(small_walker, [taipei_terminal])  # (1, N, T)
+
+        propagator = BatchPropagator(small_walker.elements)
+        times = tiny_grid.times_s
+        positions_eci = propagator.positions_eci(times)  # (N, T, 3)
+        theta = gmst_rad(times, tiny_grid.gmst_at_epoch_rad)
+        positions_ecef = eci_to_ecef(positions_eci, theta[None, :])
+        site_ecef = taipei_terminal.position_ecef
+        elevations = elevation_deg(site_ecef, positions_ecef)  # (N, T)
+        reference = elevations >= taipei_terminal.min_elevation_deg
+        mismatches = np.sum(visible[0] != reference)
+        # Edge samples can flip due to the spherical site-radius convention;
+        # allow a vanishing fraction.
+        assert mismatches <= reference.size * 0.001
+
+    def test_overhead_satellite_visible(self, equator_terminal):
+        # A satellite crossing directly over the equator site at t=0.
+        elements = OrbitalElements.from_degrees(
+            altitude_km=550.0, inclination_deg=0.1, raan_deg=0.0, mean_anomaly_deg=0.0
+        )
+        constellation = Constellation([Satellite(sat_id="S", elements=elements)])
+        grid = TimeGrid(duration_s=60.0, step_s=30.0)
+        engine = VisibilityEngine(grid)
+        visible = engine.visibility(constellation, [equator_terminal])
+        assert visible[0, 0, 0]
+
+    def test_antipodal_satellite_invisible(self, equator_terminal):
+        elements = OrbitalElements.from_degrees(
+            altitude_km=550.0, inclination_deg=0.1, raan_deg=0.0, mean_anomaly_deg=180.0
+        )
+        constellation = Constellation([Satellite(sat_id="S", elements=elements)])
+        grid = TimeGrid(duration_s=60.0, step_s=30.0)
+        visible = VisibilityEngine(grid).visibility(constellation, [equator_terminal])
+        assert not visible[0, 0, 0]
+
+    def test_high_latitude_site_never_sees_low_inclination(self):
+        """A 53-degree constellation cannot serve a polar site at 25 deg mask."""
+        site = UserTerminal("arctic", 80.0, 0.0, min_elevation_deg=25.0)
+        elements = [
+            OrbitalElements.from_degrees(
+                altitude_km=550.0, inclination_deg=53.0, raan_deg=raan, mean_anomaly_deg=ma
+            )
+            for raan in (0.0, 90.0, 180.0, 270.0)
+            for ma in (0.0, 120.0, 240.0)
+        ]
+        constellation = Constellation(
+            [Satellite(sat_id=f"S{i}", elements=e) for i, e in enumerate(elements)]
+        )
+        grid = TimeGrid.hours(3.0, step_s=60.0)
+        visible = VisibilityEngine(grid).visibility(constellation, [site])
+        assert not visible.any()
+
+
+class TestEngineReductions:
+    def test_shapes(self, small_walker, taipei_terminal, short_grid):
+        engine = VisibilityEngine(short_grid)
+        sites = [taipei_terminal, UserTerminal("eq", 0.0, 0.0)]
+        visible = engine.visibility(small_walker, sites)
+        assert visible.shape == (2, 40, short_grid.count)
+        assert engine.site_coverage(small_walker, sites).shape == (2, short_grid.count)
+        assert engine.satellite_activity(small_walker, sites).shape == (
+            40,
+            short_grid.count,
+        )
+        counts = engine.visible_counts(small_walker, sites)
+        assert counts.shape == (2, short_grid.count)
+
+    def test_site_coverage_is_any(self, small_walker, taipei_terminal, short_grid):
+        engine = VisibilityEngine(short_grid)
+        visible = engine.visibility(small_walker, [taipei_terminal])
+        coverage = engine.site_coverage(small_walker, [taipei_terminal])
+        assert np.array_equal(coverage[0], visible[0].any(axis=0))
+
+    def test_chunking_invariance(self, small_walker, taipei_terminal, short_grid):
+        fine = VisibilityEngine(short_grid, chunk_size=7)
+        coarse = VisibilityEngine(short_grid, chunk_size=100_000)
+        assert np.array_equal(
+            fine.visibility(small_walker, [taipei_terminal]),
+            coarse.visibility(small_walker, [taipei_terminal]),
+        )
+
+    def test_rejects_no_sites(self, small_walker, short_grid):
+        with pytest.raises(ValueError, match="at least one ground site"):
+            VisibilityEngine(short_grid).visibility(small_walker, [])
+
+    def test_accepts_elements_list(self, small_walker, taipei_terminal, tiny_grid):
+        engine = VisibilityEngine(tiny_grid)
+        via_constellation = engine.visibility(small_walker, [taipei_terminal])
+        via_elements = engine.visibility(small_walker.elements, [taipei_terminal])
+        assert np.array_equal(via_constellation, via_elements)
+
+    def test_convenience_wrapper(self, small_walker, taipei_terminal, tiny_grid):
+        direct = VisibilityEngine(tiny_grid).visibility(
+            small_walker, [taipei_terminal]
+        )
+        wrapped = visibility_matrix(small_walker, [taipei_terminal], tiny_grid)
+        assert np.array_equal(direct, wrapped)
+
+
+class TestPackedVisibility:
+    @pytest.fixture
+    def packed(self, small_walker, taipei_terminal, short_grid):
+        sites = [taipei_terminal, UserTerminal("eq", 0.0, 0.0)]
+        return (
+            packed_visibility(small_walker, sites, short_grid),
+            VisibilityEngine(short_grid).visibility(small_walker, sites),
+        )
+
+    def test_site_mask_matches_unpacked(self, packed):
+        packed_vis, dense = packed
+        for site in range(2):
+            assert np.array_equal(
+                packed_vis.site_mask(site), dense[site].any(axis=0)
+            )
+
+    def test_subset_mask_matches(self, packed):
+        packed_vis, dense = packed
+        subset = np.array([3, 7, 21])
+        assert np.array_equal(
+            packed_vis.site_mask(0, subset), dense[0, subset].any(axis=0)
+        )
+
+    def test_site_masks_all(self, packed):
+        packed_vis, dense = packed
+        masks = packed_vis.site_masks()
+        assert np.array_equal(masks, dense.any(axis=1))
+
+    def test_coverage_fractions(self, packed):
+        packed_vis, dense = packed
+        fractions = packed_vis.coverage_fractions()
+        expected = dense.any(axis=1).mean(axis=1)
+        assert np.allclose(fractions, expected)
+
+    def test_satellite_active_fractions(self, packed):
+        packed_vis, dense = packed
+        fractions = packed_vis.satellite_active_fractions()
+        expected = dense.any(axis=0).mean(axis=1)
+        assert np.allclose(fractions, expected)
+
+    def test_satellite_fractions_with_site_subset(self, packed):
+        packed_vis, dense = packed
+        fractions = packed_vis.satellite_active_fractions(site_indices=[1])
+        expected = dense[1].mean(axis=1)
+        assert np.allclose(fractions, expected)
+
+    def test_empty_subset_is_uncovered(self, packed):
+        packed_vis, _ = packed
+        mask = packed_vis.site_mask(0, np.array([], dtype=int))
+        assert not mask.any()
+        assert np.all(packed_vis.coverage_fractions(np.array([], dtype=int)) == 0.0)
+
+    def test_dimensions(self, packed):
+        packed_vis, dense = packed
+        assert packed_vis.n_sites == 2
+        assert packed_vis.n_satellites == 40
+        assert packed_vis.n_times == dense.shape[2]
+
+    def test_rejects_bad_dtype(self, short_grid):
+        with pytest.raises(ValueError, match="uint8"):
+            PackedVisibility(np.zeros((1, 1, 10)), 80, short_grid)
+
+    def test_rejects_short_packing(self, short_grid):
+        with pytest.raises(ValueError, match="too short"):
+            PackedVisibility(np.zeros((1, 1, 2), dtype=np.uint8), 100, short_grid)

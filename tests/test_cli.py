@@ -1,0 +1,52 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_experiment_defaults(self):
+        args = build_parser().parse_args(["fig2"])
+        assert args.runs == 10
+        assert args.step == 300.0
+        assert args.seed == 2024
+
+    def test_overrides(self):
+        args = build_parser().parse_args(
+            ["fig5", "--runs", "3", "--step", "600", "--seed", "1"]
+        )
+        assert args.runs == 3
+        assert args.step == 600.0
+        assert args.seed == 1
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list_prints_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        printed = capsys.readouterr().out.split()
+        assert set(printed) == set(EXPERIMENTS)
+
+    def test_fig4c_runs(self, capsys):
+        """fig4c is the cheapest experiment (no pool propagation)."""
+        assert main(["fig4c", "--runs", "1", "--step", "600"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 4c" in out
+        assert "inclination" in out
+
+    def test_fig4b_runs(self, capsys):
+        assert main(["fig4b", "--runs", "1", "--step", "600"]) == 0
+        out = capsys.readouterr().out
+        assert "best offset" in out

@@ -1,0 +1,152 @@
+"""Cross-module property-based tests.
+
+These exercise system-level invariants that unit tests state only for
+hand-built cases: coverage algebra under random subsets, engine
+conservation laws under random scenarios, and packed-vs-dense visibility
+equivalence under random constellations.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.constellation.satellite import Constellation, Satellite
+from repro.ground.sites import GroundStation, UserTerminal
+from repro.orbits.elements import OrbitalElements
+from repro.sim.clock import TimeGrid
+from repro.sim.engine import BentPipeSimulator
+from repro.sim.visibility import VisibilityEngine, packed_visibility
+
+
+def _random_constellation(draw_params):
+    satellites = []
+    for index, (altitude, inclination, raan, anomaly) in enumerate(draw_params):
+        satellites.append(
+            Satellite(
+                sat_id=f"R-{index}",
+                elements=OrbitalElements.from_degrees(
+                    altitude_km=altitude,
+                    inclination_deg=inclination,
+                    raan_deg=raan,
+                    mean_anomaly_deg=anomaly,
+                ),
+            )
+        )
+    return Constellation(satellites)
+
+
+orbit_params = st.tuples(
+    st.floats(400.0, 1500.0),
+    st.floats(0.0, 179.0),
+    st.floats(0.0, 359.9),
+    st.floats(0.0, 359.9),
+)
+
+
+class TestCoverageMonotonicity:
+    @given(st.lists(orbit_params, min_size=2, max_size=8), st.data())
+    @settings(max_examples=20)
+    def test_subset_coverage_never_exceeds_superset(self, params, data):
+        """Removing satellites can only remove coverage."""
+        constellation = _random_constellation(params)
+        grid = TimeGrid(duration_s=1800.0, step_s=300.0)
+        engine = VisibilityEngine(grid)
+        site = UserTerminal("ut", 10.0, 20.0, min_elevation_deg=25.0)
+        full = engine.site_coverage(constellation, [site])[0]
+
+        keep = data.draw(
+            st.lists(
+                st.integers(0, len(constellation) - 1),
+                min_size=1,
+                max_size=len(constellation),
+                unique=True,
+            )
+        )
+        subset = engine.site_coverage(constellation.take(sorted(keep)), [site])[0]
+        assert not np.any(subset & ~full)
+
+    @given(st.lists(orbit_params, min_size=1, max_size=6))
+    @settings(max_examples=20)
+    def test_union_is_elementwise_or(self, params):
+        """Coverage of a constellation is the OR of per-satellite coverage."""
+        constellation = _random_constellation(params)
+        grid = TimeGrid(duration_s=1800.0, step_s=300.0)
+        engine = VisibilityEngine(grid)
+        site = UserTerminal("ut", -30.0, 100.0, min_elevation_deg=25.0)
+        combined = engine.site_coverage(constellation, [site])[0]
+        visibility = engine.visibility(constellation, [site])[0]
+        assert np.array_equal(combined, visibility.any(axis=0))
+
+
+class TestPackedEquivalence:
+    @given(st.lists(orbit_params, min_size=1, max_size=6))
+    @settings(max_examples=15)
+    def test_packed_matches_dense(self, params):
+        constellation = _random_constellation(params)
+        grid = TimeGrid(duration_s=1740.0, step_s=60.0)  # 29 steps: odd size.
+        sites = [
+            UserTerminal("a", 0.0, 0.0, min_elevation_deg=25.0),
+            UserTerminal("b", 50.0, -120.0, min_elevation_deg=10.0),
+        ]
+        dense = VisibilityEngine(grid).visibility(constellation, sites)
+        packed = packed_visibility(constellation, sites, grid)
+        for site_index in range(2):
+            assert np.array_equal(
+                packed.site_mask(site_index), dense[site_index].any(axis=0)
+            )
+        assert np.allclose(
+            packed.satellite_active_fractions(),
+            dense.any(axis=0).mean(axis=1),
+        )
+
+
+class TestEngineConservation:
+    @given(
+        st.lists(orbit_params, min_size=1, max_size=5),
+        st.floats(10.0, 500.0),
+        st.floats(50.0, 2000.0),
+    )
+    @settings(max_examples=15)
+    def test_served_bounded_by_demand_and_capacity(
+        self, params, demand_mbps, capacity_mbps
+    ):
+        satellites = [
+            Satellite(
+                sat_id=f"R-{index}",
+                elements=OrbitalElements.from_degrees(
+                    altitude_km=altitude,
+                    inclination_deg=inclination,
+                    raan_deg=raan,
+                    mean_anomaly_deg=anomaly,
+                ),
+                party="p",
+                capacity_mbps=capacity_mbps,
+            )
+            for index, (altitude, inclination, raan, anomaly) in enumerate(params)
+        ]
+        constellation = Constellation(satellites)
+        terminals = [
+            UserTerminal(
+                "ut-a", 0.0, 0.0, min_elevation_deg=25.0, party="p",
+                demand_mbps=demand_mbps,
+            ),
+            UserTerminal(
+                "ut-b", 20.0, 30.0, min_elevation_deg=25.0, party="p",
+                demand_mbps=demand_mbps,
+            ),
+        ]
+        stations = [
+            GroundStation("gs", 5.0, 10.0, min_elevation_deg=10.0, party="p")
+        ]
+        grid = TimeGrid(duration_s=600.0, step_s=300.0)
+        result = BentPipeSimulator(constellation, terminals, stations, grid).run(
+            np.random.default_rng(0)
+        )
+        # Conservation laws: served <= demand, load <= capacity, and the
+        # session log accounts for exactly the served volume.
+        assert np.all(result.served_mbps <= result.demand_mbps + 1e-9)
+        assert np.all(result.satellite_load_mbps <= capacity_mbps + 1e-9)
+        session_volume = sum(s.volume_megabits for s in result.sessions)
+        assert session_volume == pytest.approx(
+            result.total_served_megabits, rel=1e-9, abs=1e-9
+        )
