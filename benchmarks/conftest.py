@@ -10,18 +10,39 @@ pool at the 22 experiment sites over one week — is built once per session
 and shared by every benchmark through :mod:`repro.experiments.common`'s
 module-level cache; each ``benchmark()`` measurement therefore times the
 figure's analysis, not the shared propagation.
+
+At session end the harness writes ``benchmarks/BENCH_PR1.json``: per-figure
+wall-clock, the observability layer's span aggregates (propagation /
+visibility / analysis phases), and the full metrics snapshot.  This file is
+the first point of the repo's perf trajectory — future PRs claiming a
+speedup diff their run against it.
 """
 
 from __future__ import annotations
 
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Dict
+
 import pytest
 
 from repro.experiments.common import ExperimentConfig
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 
 #: The configuration every figure benchmark runs at.  The paper uses 100
 #: Monte-Carlo runs; 20 runs at 120 s steps reproduces every figure shape in
 #: minutes of wall clock (EXPERIMENTS.md records the resulting numbers).
 BENCH_CONFIG = ExperimentConfig(runs=20, step_s=120.0, seed=2024)
+
+#: Where the machine-readable benchmark record lands.
+BENCH_REPORT_PATH = Path(__file__).parent / "BENCH_PR1.json"
+
+#: Per-test wall-clock, filled by the autouse timer fixture.
+_TEST_SECONDS: Dict[str, float] = {}
 
 
 @pytest.fixture
@@ -52,3 +73,40 @@ def shared_pool_visibility(bench_config):
     from repro.experiments.common import pool_visibility
 
     return pool_visibility(bench_config)
+
+
+@pytest.fixture(autouse=True)
+def _time_benchmark(request):
+    """Record each benchmark's wall clock for the session perf report."""
+    start = time.perf_counter()
+    yield
+    _TEST_SECONDS[request.node.name] = time.perf_counter() - start
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write BENCH_PR1.json: per-figure timings + span/metric aggregates."""
+    if not _TEST_SECONDS:
+        return  # Collection-only / empty runs leave no record to write.
+    record = {
+        "schema": 1,
+        "config": {
+            "runs": BENCH_CONFIG.runs,
+            "step_s": BENCH_CONFIG.step_s,
+            "seed": BENCH_CONFIG.seed,
+            "min_elevation_deg": BENCH_CONFIG.min_elevation_deg,
+            "duration_s": BENCH_CONFIG.duration_s,
+        },
+        "exit_status": int(exitstatus),
+        "figures": {
+            name: {"wall_s": seconds}
+            for name, seconds in sorted(_TEST_SECONDS.items())
+        },
+        "span_stats": obs_trace.stats(),
+        "metrics": obs_metrics.snapshot(),
+        "meta": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "created_unix": time.time(),
+        },
+    }
+    BENCH_REPORT_PATH.write_text(json.dumps(record, indent=2) + "\n")

@@ -3,26 +3,47 @@
 Usage::
 
     python -m repro fig2 --runs 10 --step 300
-    python -m repro fig5
+    python -m repro fig5 --log-level INFO --metrics-out run.json
     python -m repro list
 
 Each subcommand runs the corresponding experiment at the requested fidelity
 and prints the same rows the paper's figure reports (see EXPERIMENTS.md for
-the reference configuration and measured-vs-paper numbers).
+the reference configuration and measured-vs-paper numbers).  Figure tables
+go to stdout; diagnostics go through the ``repro.*`` logger hierarchy
+(``--log-level`` / ``REPRO_LOG``), and ``--metrics-out`` writes a JSON run
+report with span timings, counters, and the exact configuration + seed.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
 from repro.analysis.reporting import Series, Table
+from repro.constants import WEEK_S
 from repro.experiments.common import ExperimentConfig
+from repro.obs import configure_logging, get_logger, write_run_report
+from repro.obs.trace import profile, span
+
+_LOG = get_logger(__name__)
+
+#: Observability flags shared by every subcommand, shown by ``list``.
+OBSERVABILITY_FLAGS = (
+    ("--log-level", "diagnostic verbosity (DEBUG..CRITICAL; also REPRO_LOG env)"),
+    ("--metrics-out", "write a JSON run report (spans, counters, config, seed)"),
+    ("--profile", "dump cProfile stats for the run to a .pstats file"),
+)
 
 
 def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
-    return ExperimentConfig(runs=args.runs, step_s=args.step, seed=args.seed)
+    return ExperimentConfig(
+        runs=args.runs,
+        step_s=args.step,
+        seed=args.seed,
+        duration_s=args.duration,
+    )
 
 
 def _run_fig2(config: ExperimentConfig) -> None:
@@ -182,35 +203,83 @@ EXPERIMENTS: Dict[str, Callable[[ExperimentConfig], None]] = {
 }
 
 
+class _Parser(argparse.ArgumentParser):
+    """ArgumentParser whose errors point users at ``python -m repro list``."""
+
+    def error(self, message: str):
+        self.print_usage(sys.stderr)
+        hint = "run 'python -m repro list' to see available experiments and flags"
+        self.exit(2, f"{self.prog}: error: {message}\n{hint}\n")
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    """Fidelity + observability flags shared by every experiment subcommand."""
+    parser.add_argument(
+        "--runs", type=int, default=10,
+        help="Monte-Carlo runs per point (default: 10; paper: 100)",
+    )
+    parser.add_argument(
+        "--step", type=float, default=300.0,
+        help="time step in seconds (default: 300)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2024, help="random seed (default: 2024)"
+    )
+    parser.add_argument(
+        "--duration", type=float, default=WEEK_S, metavar="SECONDS",
+        help="experiment horizon in seconds (default: one week)",
+    )
+    parser.add_argument(
+        "--log-level", default=None, metavar="LEVEL", type=str.upper,
+        choices=("DEBUG", "INFO", "WARNING", "ERROR", "CRITICAL"),
+        help="diagnostic log level: DEBUG, INFO, WARNING, ERROR, CRITICAL "
+        "(default: WARNING, or the REPRO_LOG env var)",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="write a JSON run report (spans, counters, config, seed) to FILE",
+    )
+    parser.add_argument(
+        "--profile", default=None, metavar="FILE",
+        help="profile the run with cProfile and dump stats to FILE (.pstats)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
+    parser = _Parser(
         prog="repro",
         description="Regenerate figures from 'A Call for Decentralized "
         "Satellite Networks' (HotNets '24).",
     )
+    from repro import __version__
+
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    subparsers.add_parser("list", help="list available experiments")
+    subparsers.add_parser(
+        "list", help="list available experiments and common flags"
+    )
 
     for name in EXPERIMENTS:
         sub = subparsers.add_parser(name, help=f"run the {name} experiment")
-        sub.add_argument(
-            "--runs", type=int, default=10,
-            help="Monte-Carlo runs per point (default: 10; paper: 100)",
-        )
-        sub.add_argument(
-            "--step", type=float, default=300.0,
-            help="time step in seconds (default: 300)",
-        )
-        sub.add_argument(
-            "--seed", type=int, default=2024, help="random seed (default: 2024)"
-        )
+        _add_common_arguments(sub)
 
     all_sub = subparsers.add_parser("all", help="run every experiment")
-    all_sub.add_argument("--runs", type=int, default=10)
-    all_sub.add_argument("--step", type=float, default=300.0)
-    all_sub.add_argument("--seed", type=int, default=2024)
+    _add_common_arguments(all_sub)
     return parser
+
+
+def _run_list() -> int:
+    for name in EXPERIMENTS:
+        print(name)
+    print()
+    print("common flags (every experiment): --runs --step --seed --duration")
+    print("observability flags:")
+    for flag, description in OBSERVABILITY_FLAGS:
+        print(f"  {flag:14s}{description}")
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -219,18 +288,37 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.command == "list":
-        for name in EXPERIMENTS:
-            print(name)
-        return 0
+        return _run_list()
 
-    if args.command == "all":
-        config = _config_from_args(args)
-        for name, runner in EXPERIMENTS.items():
-            print(f"\n### {name} ###")
-            runner(config)
-        return 0
+    configure_logging(args.log_level)
+    config = _config_from_args(args)
+    for flag, path in (("--metrics-out", args.metrics_out), ("--profile", args.profile)):
+        parent = os.path.dirname(os.path.abspath(path)) if path else None
+        if parent and not os.path.isdir(parent):
+            parser.error(f"argument {flag}: directory does not exist: {parent}")
+    _LOG.info("running %s with %s", args.command, config)
 
-    EXPERIMENTS[args.command](_config_from_args(args))
+    with profile(args.profile):
+        if args.command == "all":
+            for name, runner in EXPERIMENTS.items():
+                print(f"\n### {name} ###")
+                with span(f"experiment.{name}"):
+                    runner(config)
+        else:
+            with span(f"experiment.{args.command}"):
+                EXPERIMENTS[args.command](config)
+
+    if args.metrics_out:
+        report = write_run_report(
+            args.metrics_out, command=args.command, config=config
+        )
+        _LOG.info(
+            "run report written to %s (%d spans, %d counters)",
+            args.metrics_out, len(report["spans"]),
+            len(report["metrics"]["counters"]),
+        )
+    if args.profile:
+        _LOG.info("profile written to %s", args.profile)
     return 0
 
 

@@ -22,7 +22,15 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Protocol, Sequence, Tuple
 
 from repro.core.ledger import LedgerError, TokenLedger
+from repro.obs import get_logger, metrics
 from repro.sim.events import SessionEvent
+
+_LOG = get_logger(__name__)
+
+_INVOICES = metrics.counter("core.market.invoices")
+_BILLED_TOKENS = metrics.counter("core.market.billed_tokens")
+_SETTLEMENTS = metrics.counter("core.market.settlements")
+_SETTLED_TOKENS = metrics.counter("core.market.settled_tokens")
 
 
 class PricingPolicy(Protocol):
@@ -116,6 +124,12 @@ class DataMarket:
             tokens = self.pricing.price(session, utilization)
             if tokens > 0.0:
                 invoices.append(Invoice(session=session, tokens=tokens))
+        _INVOICES.inc(len(invoices))
+        _BILLED_TOKENS.inc(sum(invoice.tokens for invoice in invoices))
+        _LOG.debug(
+            "billed %d spare-capacity sessions out of %d total",
+            len(invoices), len(sessions),
+        )
         return invoices
 
     def settle(
@@ -154,6 +168,12 @@ class DataMarket:
             elif balance < 0.0:
                 ledger.transfer(creditor, debtor, -balance, memo="market settlement")
                 transfers[(creditor, debtor)] = -balance
+        _SETTLEMENTS.inc(len(transfers))
+        _SETTLED_TOKENS.inc(sum(transfers.values()))
+        _LOG.debug(
+            "settled %d invoices into %d netted transfers",
+            len(invoices), len(transfers),
+        )
         return transfers
 
     def revenue_by_party(self, invoices: Sequence[Invoice]) -> Dict[str, float]:

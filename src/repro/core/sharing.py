@@ -17,7 +17,13 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs import get_logger, metrics
 from repro.sim.events import SessionEvent
+
+_LOG = get_logger(__name__)
+
+_MATCHED = metrics.counter("core.sharing.matched_sessions")
+_UNMATCHED = metrics.counter("core.sharing.unmatched_sessions")
 
 
 @dataclass(frozen=True)
@@ -110,12 +116,21 @@ def exchange_matrix(
     """
     index = {party: i for i, party in enumerate(parties)}
     matrix = np.zeros((len(parties), len(parties)))
+    matched = 0
     for session in sessions:
         consumer = index.get(session.terminal_party)
         provider = index.get(session.sat_party)
         if consumer is None or provider is None:
             continue
         matrix[consumer, provider] += session.volume_megabits
+        matched += 1
+    _MATCHED.inc(matched)
+    _UNMATCHED.inc(len(sessions) - matched)
+    if matched < len(sessions):
+        _LOG.debug(
+            "exchange matrix dropped %d sessions from unknown parties",
+            len(sessions) - matched,
+        )
     return matrix
 
 

@@ -3,22 +3,37 @@
 The Monte-Carlo experiments all sample from the same synthetic Starlink-like
 pool and evaluate coverage at the same sites (the 21 cities and/or Taipei),
 so the expensive artifacts — the pool and its packed visibility tensor — are
-built once per configuration and cached at module level.
+built once per configuration and cached at module level.  Cache traffic and
+build time are accounted through :mod:`repro.obs` (counters
+``experiments.visibility_cache.*`` / ``experiments.pool_cache.*`` and the
+``visibility.build`` span).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+import time
+from dataclasses import dataclass
+from typing import Dict, Tuple
 
 import numpy as np
 
-from repro.constants import DEFAULT_MIN_ELEVATION_DEG
+from repro.constants import DEFAULT_MIN_ELEVATION_DEG, WEEK_S
 from repro.constellation.satellite import Constellation
 from repro.constellation.shells import starlink_like_constellation
 from repro.ground.cities import CITIES, TAIPEI, population_weights
+from repro.obs import get_logger, metrics
+from repro.obs.trace import span
 from repro.sim.clock import TimeGrid
 from repro.sim.visibility import PackedVisibility, packed_visibility
+
+_LOG = get_logger(__name__)
+
+_POOL_HITS = metrics.counter("experiments.pool_cache.hits")
+_POOL_MISSES = metrics.counter("experiments.pool_cache.misses")
+_VIS_HITS = metrics.counter("experiments.visibility_cache.hits")
+_VIS_MISSES = metrics.counter("experiments.visibility_cache.misses")
+_VIS_BUILD_SECONDS = metrics.histogram("experiments.visibility_cache.build_seconds")
+_VIS_LAST_BUILD = metrics.gauge("experiments.visibility_cache.last_build_s")
 
 
 @dataclass(frozen=True)
@@ -36,9 +51,10 @@ class ExperimentConfig:
     step_s: float = 120.0
     seed: int = 2024
     min_elevation_deg: float = DEFAULT_MIN_ELEVATION_DEG
+    duration_s: float = WEEK_S  # The paper's horizon: one simulated week.
 
     def grid(self) -> TimeGrid:
-        return TimeGrid.one_week(step_s=self.step_s)
+        return TimeGrid(duration_s=self.duration_s, step_s=self.step_s)
 
     def rng(self, salt: int = 0) -> np.random.Generator:
         return np.random.default_rng(self.seed + salt)
@@ -50,15 +66,22 @@ TAIPEI_INDEX = 0
 CITY_INDICES = tuple(range(1, len(ALL_SITES)))
 
 _POOL_CACHE: Dict[int, Constellation] = {}
-_VISIBILITY_CACHE: Dict[Tuple[int, float, float], PackedVisibility] = {}
+#: Keyed by every config field the tensor depends on — pool seed, step,
+#: elevation mask, AND horizon.  Omitting the horizon aliased differently
+#: sized grids onto one entry the moment ``duration_s`` became configurable.
+_VISIBILITY_CACHE: Dict[Tuple[int, float, float, float], PackedVisibility] = {}
 
 
 def starlink_pool(seed: int = 0) -> Constellation:
     """The cached synthetic Starlink-like pool (4408 satellites)."""
     if seed not in _POOL_CACHE:
+        _POOL_MISSES.inc()
+        _LOG.info("building starlink-like pool (seed=%d)", seed)
         _POOL_CACHE[seed] = starlink_like_constellation(
             rng=np.random.default_rng(seed)
         )
+    else:
+        _POOL_HITS.inc()
     return _POOL_CACHE[seed]
 
 
@@ -67,17 +90,31 @@ def pool_visibility(config: ExperimentConfig, pool_seed: int = 0) -> PackedVisib
 
     This is the one expensive computation (~30-60 s for a week at 60-120 s
     steps); everything downstream is boolean reductions.  Cached per
-    (pool seed, step, elevation mask).
+    (pool seed, step, elevation mask, horizon).
     """
-    key = (pool_seed, config.step_s, config.min_elevation_deg)
+    key = (pool_seed, config.step_s, config.min_elevation_deg, config.duration_s)
     if key not in _VISIBILITY_CACHE:
+        _VIS_MISSES.inc()
+        _LOG.info(
+            "visibility cache miss: building packed tensor "
+            "(pool_seed=%d step=%.0fs mask=%.1fdeg duration=%.0fs)",
+            *key,
+        )
         sites = [
             city.terminal(min_elevation_deg=config.min_elevation_deg)
             for city in ALL_SITES
         ]
-        _VISIBILITY_CACHE[key] = packed_visibility(
-            starlink_pool(pool_seed), sites, config.grid()
-        )
+        start = time.perf_counter()
+        with span("visibility.build"):
+            _VISIBILITY_CACHE[key] = packed_visibility(
+                starlink_pool(pool_seed), sites, config.grid()
+            )
+        elapsed = time.perf_counter() - start
+        _VIS_BUILD_SECONDS.observe(elapsed)
+        _VIS_LAST_BUILD.set(elapsed)
+        _LOG.info("packed tensor built in %.2f s", elapsed)
+    else:
+        _VIS_HITS.inc()
     return _VISIBILITY_CACHE[key]
 
 

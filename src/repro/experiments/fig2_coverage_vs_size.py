@@ -21,6 +21,7 @@ from repro.experiments.common import (
     pool_visibility,
     starlink_pool,
 )
+from repro.obs.trace import span
 from repro.sim.coverage import gap_lengths_s
 
 #: Constellation sizes swept by default (the figure's x axis).
@@ -62,24 +63,25 @@ def run_fig2(
     step_s = config.grid().step_s
 
     points: List[Fig2Point] = []
-    for size in sizes:
-        if size > pool_size:
-            raise ValueError(f"size {size} exceeds pool of {pool_size}")
-        uncovered = np.empty(config.runs)
-        max_gaps = np.empty(config.runs)
-        for run in range(config.runs):
-            indices = rng.choice(pool_size, size=size, replace=False)
-            mask = visibility.site_mask(TAIPEI_INDEX, indices)
-            uncovered[run] = 100.0 * (1.0 - mask.mean())
-            gaps = gap_lengths_s(mask, step_s)
-            max_gaps[run] = gaps.max() if gaps.size else 0.0
-        points.append(
-            Fig2Point(
-                satellites=size,
-                mean_uncovered_percent=float(uncovered.mean()),
-                std_uncovered_percent=float(uncovered.std()),
-                mean_max_gap_s=float(max_gaps.mean()),
-                max_max_gap_s=float(max_gaps.max()),
+    with span("analysis.fig2"):
+        for size in sizes:
+            if size > pool_size:
+                raise ValueError(f"size {size} exceeds pool of {pool_size}")
+            uncovered = np.empty(config.runs)
+            max_gaps = np.empty(config.runs)
+            for run in range(config.runs):
+                indices = rng.choice(pool_size, size=size, replace=False)
+                mask = visibility.site_mask(TAIPEI_INDEX, indices)
+                uncovered[run] = 100.0 * (1.0 - mask.mean())
+                gaps = gap_lengths_s(mask, step_s)
+                max_gaps[run] = gaps.max() if gaps.size else 0.0
+            points.append(
+                Fig2Point(
+                    satellites=size,
+                    mean_uncovered_percent=float(uncovered.mean()),
+                    std_uncovered_percent=float(uncovered.std()),
+                    mean_max_gap_s=float(max_gaps.mean()),
+                    max_max_gap_s=float(max_gaps.max()),
+                )
             )
-        )
     return Fig2Result(points=points, config=config)

@@ -21,6 +21,7 @@ from repro.experiments.common import (
     pool_visibility,
     starlink_pool,
 )
+from repro.obs.trace import span
 
 
 @dataclass(frozen=True)
@@ -58,22 +59,23 @@ def run_fig3(
     rng = config.rng(salt=3)
 
     points: List[Fig3Point] = []
-    for count in city_counts:
-        if not 1 <= count <= len(CITY_INDICES):
-            raise ValueError(f"city count {count} out of range")
-        site_indices = list(CITY_INDICES[:count])
-        idle_means = np.empty(config.runs)
-        for run in range(config.runs):
-            sat_indices = rng.choice(pool_size, size=sample_size, replace=False)
-            active = visibility.satellite_active_fractions(
-                sat_indices=sat_indices, site_indices=site_indices
+    with span("analysis.fig3"):
+        for count in city_counts:
+            if not 1 <= count <= len(CITY_INDICES):
+                raise ValueError(f"city count {count} out of range")
+            site_indices = list(CITY_INDICES[:count])
+            idle_means = np.empty(config.runs)
+            for run in range(config.runs):
+                sat_indices = rng.choice(pool_size, size=sample_size, replace=False)
+                active = visibility.satellite_active_fractions(
+                    sat_indices=sat_indices, site_indices=site_indices
+                )
+                idle_means[run] = 100.0 * (1.0 - active).mean()
+            points.append(
+                Fig3Point(
+                    cities=count,
+                    mean_idle_percent=float(idle_means.mean()),
+                    std_idle_percent=float(idle_means.std()),
+                )
             )
-            idle_means[run] = 100.0 * (1.0 - active).mean()
-        points.append(
-            Fig3Point(
-                cities=count,
-                mean_idle_percent=float(idle_means.mean()),
-                std_idle_percent=float(idle_means.std()),
-            )
-        )
     return Fig3Result(points=points, config=config)

@@ -22,6 +22,7 @@ from repro.experiments.common import (
     starlink_pool,
     weighted_city_coverage_fraction,
 )
+from repro.obs.trace import span
 
 DEFAULT_BASE_SIZES: Sequence[int] = (1, 100, 500)
 
@@ -58,20 +59,21 @@ def run_fig4a(
     horizon_hours = config.grid().duration_s / 3600.0
 
     points: List[Fig4aPoint] = []
-    for base_size in base_sizes:
-        gains = np.empty(config.runs)
-        for run in range(config.runs):
-            draw = rng.choice(pool_size, size=base_size + 1, replace=False)
-            base, extra = draw[:-1], draw
-            before = weighted_city_coverage_fraction(visibility, base)
-            after = weighted_city_coverage_fraction(visibility, extra)
-            gains[run] = (after - before) * horizon_hours
-        points.append(
-            Fig4aPoint(
-                base_satellites=base_size,
-                mean_gain_hours=float(gains.mean()),
-                max_gain_hours=float(gains.max()),
-                min_gain_hours=float(gains.min()),
+    with span("analysis.fig4a"):
+        for base_size in base_sizes:
+            gains = np.empty(config.runs)
+            for run in range(config.runs):
+                draw = rng.choice(pool_size, size=base_size + 1, replace=False)
+                base, extra = draw[:-1], draw
+                before = weighted_city_coverage_fraction(visibility, base)
+                after = weighted_city_coverage_fraction(visibility, extra)
+                gains[run] = (after - before) * horizon_hours
+            points.append(
+                Fig4aPoint(
+                    base_satellites=base_size,
+                    mean_gain_hours=float(gains.mean()),
+                    max_gain_hours=float(gains.max()),
+                    min_gain_hours=float(gains.min()),
+                )
             )
-        )
     return Fig4aResult(points=points, config=config)

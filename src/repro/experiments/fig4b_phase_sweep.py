@@ -22,6 +22,7 @@ from repro.constellation.design import (
 from repro.core.placement import PlacementScorer
 from repro.experiments.common import ExperimentConfig
 from repro.ground.cities import CITIES
+from repro.obs.trace import span
 
 
 @dataclass(frozen=True)
@@ -52,7 +53,8 @@ def run_fig4b(
         base[0].elements, gap_deg=30.0, positions=positions
     )
     scorer = PlacementScorer(base, config.grid(), cities=CITIES)
-    scored = scorer.score(candidates)
+    with span("analysis.fig4b"):
+        scored = scorer.score(candidates)
     step = 30.0 / (positions + 1)
     points = [
         Fig4bPoint(

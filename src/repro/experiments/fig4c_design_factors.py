@@ -26,6 +26,7 @@ from repro.constellation.design import (
 from repro.core.placement import PlacementScorer
 from repro.experiments.common import ExperimentConfig
 from repro.ground.cities import CITIES
+from repro.obs.trace import span
 
 #: Altitude used for category 2 (the paper does not state its value; 30 km
 #: above the base keeps the satellite in the same regime while breaking the
@@ -61,7 +62,8 @@ def run_fig4c(
         phase_variant(reference, phase_deg),
     ]
     scorer = PlacementScorer(base, config.grid(), cities=CITIES)
-    scored = scorer.score(candidates)
+    with span("analysis.fig4c"):
+        scored = scorer.score(candidates)
     labels = ("inclination", "altitude", "phase")
     return Fig4cResult(
         gains_hours={

@@ -21,6 +21,7 @@ from repro.experiments.common import (
     starlink_pool,
     weighted_city_coverage_fraction,
 )
+from repro.obs.trace import span
 
 DEFAULT_SIZES: Sequence[int] = (200, 500, 1000, 2000)
 
@@ -58,23 +59,24 @@ def run_fig5(
     horizon_hours = config.grid().duration_s / 3600.0
 
     points: List[Fig5Point] = []
-    for size in sizes:
-        if size > pool_size:
-            raise ValueError(f"size {size} exceeds pool of {pool_size}")
-        withdraw = int(round(withdraw_fraction * size))
-        reductions = np.empty(config.runs)
-        for run in range(config.runs):
-            base = rng.choice(pool_size, size=size, replace=False)
-            kept = rng.permutation(base)[withdraw:]
-            before = weighted_city_coverage_fraction(visibility, base)
-            after = weighted_city_coverage_fraction(visibility, kept)
-            reductions[run] = before - after
-        points.append(
-            Fig5Point(
-                satellites=size,
-                mean_reduction_percent=float(100.0 * reductions.mean()),
-                std_reduction_percent=float(100.0 * reductions.std()),
-                mean_lost_hours=float(reductions.mean() * horizon_hours),
+    with span("analysis.fig5"):
+        for size in sizes:
+            if size > pool_size:
+                raise ValueError(f"size {size} exceeds pool of {pool_size}")
+            withdraw = int(round(withdraw_fraction * size))
+            reductions = np.empty(config.runs)
+            for run in range(config.runs):
+                base = rng.choice(pool_size, size=size, replace=False)
+                kept = rng.permutation(base)[withdraw:]
+                before = weighted_city_coverage_fraction(visibility, base)
+                after = weighted_city_coverage_fraction(visibility, kept)
+                reductions[run] = before - after
+            points.append(
+                Fig5Point(
+                    satellites=size,
+                    mean_reduction_percent=float(100.0 * reductions.mean()),
+                    std_reduction_percent=float(100.0 * reductions.std()),
+                    mean_lost_hours=float(reductions.mean() * horizon_hours),
+                )
             )
-        )
     return Fig5Result(points=points, config=config)

@@ -24,6 +24,7 @@ from repro.experiments.common import (
     starlink_pool,
     weighted_city_coverage_fraction,
 )
+from repro.obs.trace import span
 
 DEFAULT_SKEWS: Sequence[int] = tuple(range(1, 11))
 DEFAULT_PARTIES = 11
@@ -70,27 +71,28 @@ def run_fig6(
     horizon_hours = config.grid().duration_s / 3600.0
 
     points: List[Fig6Point] = []
-    for skew in skews:
-        ratios = [float(skew)] + [1.0] * (parties - 1)
-        counts = contribution_ratio_split(total_satellites, ratios)
-        largest = counts[0]
-        reductions = np.empty(config.runs)
-        for run in range(config.runs):
-            base = rng.choice(pool_size, size=total_satellites, replace=False)
-            # The first `largest` positions of a random permutation are the
-            # largest party's satellites; the rest stay.
-            shuffled = rng.permutation(base)
-            kept = shuffled[largest:]
-            before = weighted_city_coverage_fraction(visibility, base)
-            after = weighted_city_coverage_fraction(visibility, kept)
-            reductions[run] = before - after
-        points.append(
-            Fig6Point(
-                skew=skew,
-                largest_party_satellites=largest,
-                mean_reduction_percent=float(100.0 * reductions.mean()),
-                std_reduction_percent=float(100.0 * reductions.std()),
-                mean_lost_hours=float(reductions.mean() * horizon_hours),
+    with span("analysis.fig6"):
+        for skew in skews:
+            ratios = [float(skew)] + [1.0] * (parties - 1)
+            counts = contribution_ratio_split(total_satellites, ratios)
+            largest = counts[0]
+            reductions = np.empty(config.runs)
+            for run in range(config.runs):
+                base = rng.choice(pool_size, size=total_satellites, replace=False)
+                # The first `largest` positions of a random permutation are
+                # the largest party's satellites; the rest stay.
+                shuffled = rng.permutation(base)
+                kept = shuffled[largest:]
+                before = weighted_city_coverage_fraction(visibility, base)
+                after = weighted_city_coverage_fraction(visibility, kept)
+                reductions[run] = before - after
+            points.append(
+                Fig6Point(
+                    skew=skew,
+                    largest_party_satellites=largest,
+                    mean_reduction_percent=float(100.0 * reductions.mean()),
+                    std_reduction_percent=float(100.0 * reductions.std()),
+                    mean_lost_hours=float(reductions.mean() * horizon_hours),
+                )
             )
-        )
     return Fig6Result(points=points, config=config)

@@ -22,6 +22,7 @@ from repro.experiments.common import (
     starlink_pool,
     weighted_city_coverage_fraction,
 )
+from repro.obs.trace import span
 
 DEFAULT_CALIBRATION_SIZES: Sequence[int] = (
     10, 25, 50, 100, 200, 400, 700, 1000, 1500, 2000, 3000, 4000,
@@ -57,23 +58,26 @@ def run_sharing_upside(
     pool_size = len(starlink_pool())
     rng = config.rng(salt=7)
 
-    # Go-it-alone calibration curve, averaged over runs.
-    calibration: List[Tuple[int, float]] = []
-    for size in calibration_sizes:
-        fractions = np.empty(config.runs)
-        for run in range(config.runs):
-            indices = rng.choice(pool_size, size=size, replace=False)
-            fractions[run] = weighted_city_coverage_fraction(visibility, indices)
-        calibration.append((size, float(fractions.mean())))
+    with span("analysis.sharing"):
+        # Go-it-alone calibration curve, averaged over runs.
+        calibration: List[Tuple[int, float]] = []
+        for size in calibration_sizes:
+            fractions = np.empty(config.runs)
+            for run in range(config.runs):
+                indices = rng.choice(pool_size, size=size, replace=False)
+                fractions[run] = weighted_city_coverage_fraction(visibility, indices)
+            calibration.append((size, float(fractions.mean())))
 
-    # The shared network and the party's slice of it.
-    alone_fractions = np.empty(config.runs)
-    shared_fractions = np.empty(config.runs)
-    for run in range(config.runs):
-        network = rng.choice(pool_size, size=network_size, replace=False)
-        own = network[:contributed]
-        alone_fractions[run] = weighted_city_coverage_fraction(visibility, own)
-        shared_fractions[run] = weighted_city_coverage_fraction(visibility, network)
+        # The shared network and the party's slice of it.
+        alone_fractions = np.empty(config.runs)
+        shared_fractions = np.empty(config.runs)
+        for run in range(config.runs):
+            network = rng.choice(pool_size, size=network_size, replace=False)
+            own = network[:contributed]
+            alone_fractions[run] = weighted_city_coverage_fraction(visibility, own)
+            shared_fractions[run] = weighted_city_coverage_fraction(
+                visibility, network
+            )
 
     upside = sharing_upside(
         party="participant",

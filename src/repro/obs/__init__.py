@@ -1,0 +1,46 @@
+"""repro.obs — the observability layer: logging, metrics, traces, reports.
+
+Four stdlib-only pieces, threaded through every package of the simulator:
+
+* :mod:`repro.obs.log` — run-scoped structured logging under the
+  ``repro.*`` hierarchy (``--log-level`` / ``REPRO_LOG``).
+* :mod:`repro.obs.metrics` — a process-local registry of counters, gauges,
+  and fixed-bucket histograms.
+* :mod:`repro.obs.trace` — nestable span timers (``with span("x"):``), a
+  ``@timed`` decorator, and a cProfile hook (``--profile``).
+* :mod:`repro.obs.report` — the JSON run-report writer (``--metrics-out``)
+  serializing spans, metrics, config, and seed for reproducible perf claims.
+"""
+
+from repro.obs.log import configure_logging, get_logger
+from repro.obs.metrics import (
+    REGISTRY,
+    MetricsRegistry,
+    counter,
+    gauge,
+    histogram,
+)
+from repro.obs.report import (
+    REPORT_SCHEMA_VERSION,
+    collect_run_report,
+    write_run_report,
+)
+from repro.obs.trace import TRACER, Tracer, profile, span, timed
+
+__all__ = [
+    "configure_logging",
+    "get_logger",
+    "MetricsRegistry",
+    "REGISTRY",
+    "counter",
+    "gauge",
+    "histogram",
+    "Tracer",
+    "TRACER",
+    "span",
+    "timed",
+    "profile",
+    "REPORT_SCHEMA_VERSION",
+    "collect_run_report",
+    "write_run_report",
+]

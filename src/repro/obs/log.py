@@ -1,0 +1,90 @@
+"""Run-scoped structured logging for the repro stack.
+
+All diagnostics flow through the ``repro.*`` logger hierarchy; paper-figure
+tables and series stay on plain stdout (see :mod:`repro.analysis.reporting`).
+As a library, repro emits nothing: the package installs a ``NullHandler`` on
+the ``repro`` root logger.  Entry points (the CLI, the benchmark harness)
+call :func:`configure_logging` to attach a real handler.
+
+The level is resolved in priority order:
+
+1. an explicit ``level`` argument (the CLI's ``--log-level``),
+2. the ``REPRO_LOG`` environment variable (e.g. ``REPRO_LOG=DEBUG``),
+3. ``WARNING``.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+from typing import Optional, TextIO, Union
+
+#: Environment variable consulted when no explicit level is given.
+ENV_VAR = "REPRO_LOG"
+
+#: Name of the hierarchy root every repro logger hangs off.
+ROOT_LOGGER_NAME = "repro"
+
+#: One-line human format: time, level, logger, message.
+LOG_FORMAT = "%(asctime)s %(levelname)-7s %(name)s :: %(message)s"
+DATE_FORMAT = "%H:%M:%S"
+
+_LEVEL_NAMES = ("CRITICAL", "ERROR", "WARNING", "INFO", "DEBUG")
+
+# Library default: stay silent unless an entry point configures a handler.
+logging.getLogger(ROOT_LOGGER_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """Return a logger inside the ``repro.*`` hierarchy.
+
+    Pass a module's ``__name__`` (already ``repro.<pkg>.<mod>``) or a short
+    suffix like ``"sim.engine"``; both land under the ``repro`` root.
+    """
+    if not name or name == ROOT_LOGGER_NAME:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    if name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def resolve_level(level: Optional[Union[int, str]] = None) -> int:
+    """Resolve a level argument / REPRO_LOG env var / default to an int."""
+    if level is None:
+        level = os.environ.get(ENV_VAR) or logging.WARNING
+    if isinstance(level, int):
+        return level
+    name = str(level).strip().upper()
+    if name not in _LEVEL_NAMES:
+        raise ValueError(
+            f"unknown log level {level!r}; choose from {', '.join(_LEVEL_NAMES)}"
+        )
+    return getattr(logging, name)
+
+
+def configure_logging(
+    level: Optional[Union[int, str]] = None,
+    stream: Optional[TextIO] = None,
+) -> logging.Logger:
+    """Attach (or retune) the single stream handler on the ``repro`` root.
+
+    Idempotent: calling again replaces the previous handler, so tests and
+    long-lived sessions can reconfigure freely.  Diagnostics go to stderr by
+    default, keeping stdout clean for figure tables.
+
+    Returns:
+        The configured ``repro`` root logger.
+    """
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    resolved = resolve_level(level)
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_obs_handler", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter(LOG_FORMAT, DATE_FORMAT))
+    handler._repro_obs_handler = True  # type: ignore[attr-defined]
+    root.addHandler(handler)
+    root.setLevel(resolved)
+    root.propagate = False
+    return root

@@ -1,0 +1,106 @@
+"""Machine-readable run reports: spans + metrics + config + seed as JSON.
+
+The CLI's ``--metrics-out run.json`` lands here: after an experiment runs,
+:func:`write_run_report` serializes everything the observability layer
+collected — span records and per-phase aggregates from
+:mod:`repro.obs.trace`, every counter/gauge/histogram from
+:mod:`repro.obs.metrics`, and the exact experiment configuration + seed —
+so a perf claim ("the cache made fig2 3x faster") is a diff of two files
+rather than a memory.
+
+Schema stability: ``schema`` is bumped on breaking layout changes; tests
+pin the current top-level key set.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import platform
+import sys
+import time
+from typing import Any, Dict, Optional
+
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+
+#: Bumped when the report layout changes incompatibly.
+REPORT_SCHEMA_VERSION = 1
+
+
+def _ensure_default_instruments() -> None:
+    """Import the instrumented modules so their counters exist in every report.
+
+    Counters are registered at module import; a run that never touched the
+    session engine or the market would otherwise silently omit them, and a
+    reader could not tell "zero sessions" from "not measured".  Imports are
+    lazy here to keep :mod:`repro.obs` free of package-level cycles.
+    """
+    import repro.core.market  # noqa: F401
+    import repro.core.sharing  # noqa: F401
+    import repro.experiments.common  # noqa: F401
+    import repro.sim.engine  # noqa: F401
+    import repro.sim.visibility  # noqa: F401
+
+
+def _config_dict(config: Any) -> Optional[Dict[str, Any]]:
+    if config is None:
+        return None
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        return dataclasses.asdict(config)
+    if isinstance(config, dict):
+        return dict(config)
+    return {"repr": repr(config)}
+
+
+def collect_run_report(
+    command: Optional[str] = None,
+    config: Any = None,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble the full run report as a JSON-ready dict.
+
+    Args:
+        command: The CLI subcommand / experiment name, if any.
+        config: The experiment configuration (a dataclass or dict); its
+            ``seed`` field, when present, is surfaced at the top level.
+        extra: Caller-provided additions (merged under ``"extra"``).
+    """
+    _ensure_default_instruments()
+    config_dict = _config_dict(config)
+    seed = None
+    if config_dict and "seed" in config_dict:
+        seed = config_dict["seed"]
+    trace_snapshot = _trace.TRACER.snapshot()
+    report: Dict[str, Any] = {
+        "schema": REPORT_SCHEMA_VERSION,
+        "command": command,
+        "config": config_dict,
+        "seed": seed,
+        "spans": trace_snapshot["records"],
+        "span_stats": trace_snapshot["stats"],
+        "dropped_spans": trace_snapshot["dropped_records"],
+        "metrics": _metrics.snapshot(),
+        "meta": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "created_unix": time.time(),
+        },
+    }
+    if extra:
+        report["extra"] = dict(extra)
+    return report
+
+
+def write_run_report(
+    path: str,
+    command: Optional[str] = None,
+    config: Any = None,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Write the run report to ``path`` and return the dict that was written."""
+    report = collect_run_report(command=command, config=config, extra=extra)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return report

@@ -1,0 +1,190 @@
+"""Nestable span/phase timers and an optional cProfile hook.
+
+A *span* is a named wall-clock interval::
+
+    from repro.obs.trace import span
+
+    with span("visibility.pack"):
+        ...
+
+Spans nest (the active stack is thread-local), every finished span is
+recorded with its duration and parent, and per-name aggregate stats
+(count/total/min/max) accumulate unboundedly even when the raw record list
+is capped.  :func:`timed` wraps a function in a span; :func:`profile` dumps
+a cProfile ``.pstats`` file around any block (the CLI's ``--profile``).
+
+Everything is stdlib-only and cheap enough for per-chunk instrumentation:
+one ``perf_counter`` pair plus a couple of dict operations per span.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from functools import wraps
+from typing import Callable, Dict, Iterator, List, Optional
+
+#: Raw span records kept per tracer; aggregates keep counting past the cap.
+MAX_RECORDS = 2000
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span."""
+
+    name: str
+    start_s: float  # Seconds since the tracer's epoch.
+    duration_s: float
+    depth: int  # 0 = top level.
+    parent: Optional[str]  # Name of the enclosing span, if any.
+
+
+class Tracer:
+    """Collects span records and per-name aggregate timings."""
+
+    def __init__(self, max_records: int = MAX_RECORDS) -> None:
+        self.max_records = max_records
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._epoch = time.perf_counter()
+        self.records: List[SpanRecord] = []
+        self.dropped_records = 0
+        self._stats: Dict[str, Dict[str, float]] = {}
+
+    def _stack(self) -> List[str]:
+        if not hasattr(self._local, "stack"):
+            self._local.stack = []
+        return self._local.stack
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Time a named block; nests under any enclosing span."""
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        depth = len(stack)
+        stack.append(name)
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            duration = time.perf_counter() - start
+            stack.pop()
+            record = SpanRecord(
+                name=name,
+                start_s=start - self._epoch,
+                duration_s=duration,
+                depth=depth,
+                parent=parent,
+            )
+            with self._lock:
+                if len(self.records) < self.max_records:
+                    self.records.append(record)
+                else:
+                    self.dropped_records += 1
+                stats = self._stats.get(name)
+                if stats is None:
+                    self._stats[name] = {
+                        "count": 1,
+                        "total_s": duration,
+                        "min_s": duration,
+                        "max_s": duration,
+                    }
+                else:
+                    stats["count"] += 1
+                    stats["total_s"] += duration
+                    stats["min_s"] = min(stats["min_s"], duration)
+                    stats["max_s"] = max(stats["max_s"], duration)
+
+    def timed(self, name: Optional[str] = None) -> Callable:
+        """Decorator: run the function inside a span (default: its qualname)."""
+
+        def decorate(function: Callable) -> Callable:
+            span_name = name or function.__qualname__
+
+            @wraps(function)
+            def wrapper(*args, **kwargs):
+                with self.span(span_name):
+                    return function(*args, **kwargs)
+
+            return wrapper
+
+        return decorate
+
+    def stats(self) -> Dict[str, Dict[str, float]]:
+        """Aggregate timings by span name (count, total_s, min_s, max_s)."""
+        with self._lock:
+            return {name: dict(value) for name, value in sorted(self._stats.items())}
+
+    def snapshot(self) -> Dict:
+        """JSON-ready view: raw records (capped) plus per-name aggregates."""
+        with self._lock:
+            return {
+                "records": [
+                    {
+                        "name": record.name,
+                        "start_s": record.start_s,
+                        "duration_s": record.duration_s,
+                        "depth": record.depth,
+                        "parent": record.parent,
+                    }
+                    for record in self.records
+                ],
+                "dropped_records": self.dropped_records,
+                "stats": {
+                    name: dict(value) for name, value in sorted(self._stats.items())
+                },
+            }
+
+    def reset(self) -> None:
+        """Forget all finished spans (active spans keep running)."""
+        with self._lock:
+            self.records.clear()
+            self.dropped_records = 0
+            self._stats.clear()
+            self._epoch = time.perf_counter()
+
+
+#: The process-global tracer every instrumented module shares.
+TRACER = Tracer()
+
+
+def span(name: str):
+    """Time a named block on the default tracer (context manager)."""
+    return TRACER.span(name)
+
+
+def timed(name: Optional[str] = None) -> Callable:
+    """Decorator timing a function on the default tracer."""
+    return TRACER.timed(name)
+
+
+def stats() -> Dict[str, Dict[str, float]]:
+    """Aggregate span timings from the default tracer."""
+    return TRACER.stats()
+
+
+def reset() -> None:
+    """Reset the default tracer."""
+    TRACER.reset()
+
+
+@contextmanager
+def profile(path: Optional[str]) -> Iterator[None]:
+    """cProfile a block and dump ``.pstats`` output to ``path``.
+
+    A falsy path disables profiling, so callers can pass the CLI argument
+    straight through: ``with profile(args.profile): run()``.
+    """
+    if not path:
+        yield
+        return
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield
+    finally:
+        profiler.disable()
+        profiler.dump_stats(path)

@@ -25,12 +25,17 @@ from typing import Sequence, Tuple
 import numpy as np
 
 from repro.constants import EARTH_RADIUS_M, J2, MU_EARTH
+from repro.obs import metrics
+from repro.obs.trace import span
 from repro.orbits.elements import (
     OrbitalElements,
     eccentric_to_true_anomaly,
     wrap_angle,
 )
 from repro.orbits.kepler import solve_kepler, solve_kepler_batch
+
+#: Total (satellite, time) state evaluations across all batch propagations.
+_STATE_EVALS = metrics.counter("orbits.propagator.state_evaluations")
 
 
 @dataclass(frozen=True)
@@ -246,8 +251,11 @@ class BatchPropagator:
         Returns:
             Array of shape (N, T, 3): ECI positions in meters.
         """
-        radius, cos_u, sin_u, raan = self._latitude_args(times_s)
-        return self._assemble_eci(radius, cos_u, sin_u, raan)
+        with span("propagation.batch"):
+            radius, cos_u, sin_u, raan = self._latitude_args(times_s)
+            out = self._assemble_eci(radius, cos_u, sin_u, raan)
+        _STATE_EVALS.inc(out.shape[0] * out.shape[1])
+        return out
 
     def unit_positions_eci(self, times_s: np.ndarray) -> np.ndarray:
         """Like :meth:`positions_eci` but normalized to unit vectors.
@@ -257,8 +265,11 @@ class BatchPropagator:
         without re-normalizing.  Unit vectors are assembled directly (radius
         set to 1) rather than normalizing after the fact.
         """
-        radius, cos_u, sin_u, raan = self._latitude_args(times_s)
-        return self._assemble_eci(np.ones_like(radius), cos_u, sin_u, raan)
+        with span("propagation.batch"):
+            radius, cos_u, sin_u, raan = self._latitude_args(times_s)
+            out = self._assemble_eci(np.ones_like(radius), cos_u, sin_u, raan)
+        _STATE_EVALS.inc(out.shape[0] * out.shape[1])
+        return out
 
     def subset(self, indices: np.ndarray) -> "BatchPropagator":
         """Return a new propagator restricted to the given satellite indices."""

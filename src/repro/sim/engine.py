@@ -32,6 +32,8 @@ import numpy as np
 from repro.constants import BOLTZMANN_DBW, SPEED_OF_LIGHT
 from repro.constellation.satellite import Constellation
 from repro.ground.sites import GroundStation, UserTerminal
+from repro.obs import get_logger, metrics
+from repro.obs.trace import span
 from repro.links.bentpipe import BentPipeLink, RelayMode
 from repro.links.channel import achievable_rates_bps_array
 from repro.orbits.frames import gmst_rad
@@ -40,6 +42,15 @@ from repro.sim.clock import TimeGrid
 from repro.sim.events import SessionEvent, intervals_from_mask
 from repro.sim.traffic import ConstantDemand, DemandModel
 from repro.sim.visibility import VisibilityEngine
+
+_LOG = get_logger(__name__)
+
+_SESSIONS = metrics.counter("sim.engine.sessions")
+_ALLOCATIONS = metrics.counter("sim.engine.allocations")
+_HANDOVERS = metrics.counter("sim.engine.handovers")
+_UNSERVED_STEPS = metrics.counter("sim.engine.unserved_demand_steps")
+#: Peak of (total allocated load / total constellation capacity) over the run.
+_SATURATION = metrics.gauge("sim.engine.capacity_saturation_peak")
 
 
 def _snr_linear_array(budget, distance_m: np.ndarray) -> np.ndarray:
@@ -253,8 +264,10 @@ class BentPipeSimulator:
 
     def run(self, rng: np.random.Generator) -> SimulationResult:
         """Run the allocation over the whole grid."""
-        _, relayable = self._relay_eligibility()
-        rate_caps = self._adaptive_rate_caps()
+        with span("engine.eligibility"):
+            _, relayable = self._relay_eligibility()
+        with span("engine.rate_caps"):
+            rate_caps = self._adaptive_rate_caps()
         n_terminals, n_sats, n_times = relayable.shape
 
         demand = np.stack(
@@ -286,46 +299,49 @@ class BentPipeSimulator:
         for t, n in own_pairs:
             own_sat_of_terminal.setdefault(t, set()).add(n)
 
-        for step in range(n_times):
-            remaining = capacity.astype(np.float64).copy()
-            eligible = relayable[:, :, step]  # (terminals, N)
-            for own_pass in (True, False):
-                for terminal_index in range(n_terminals):
-                    want = demand[terminal_index, step]
-                    if want <= 0.0 or assignment[terminal_index, step] >= 0:
-                        continue
-                    candidates = np.flatnonzero(eligible[terminal_index])
-                    if candidates.size == 0:
-                        continue
-                    own_sats = own_sat_of_terminal.get(terminal_index, set())
-                    if own_pass:
-                        candidates = np.array(
-                            [c for c in candidates if c in own_sats], dtype=np.int64
-                        )
-                    if candidates.size == 0:
-                        continue
-                    candidates = candidates[remaining[candidates] > 0.0]
-                    if rate_caps is not None and candidates.size:
-                        candidates = candidates[
-                            rate_caps[terminal_index, candidates, step] > 0.0
-                        ]
-                    if candidates.size == 0:
-                        continue
-                    # Highest remaining capacity first; ties break on index.
-                    best = candidates[np.argmax(remaining[candidates])]
-                    grant = min(want, remaining[best])
-                    if rate_caps is not None:
-                        grant = min(
-                            grant, float(rate_caps[terminal_index, best, step])
-                        )
-                    remaining[best] -= grant
-                    served[terminal_index, step] = grant
-                    sat_load[best, step] += grant
-                    assignment[terminal_index, step] = best
+        with span("engine.allocate"):
+            for step in range(n_times):
+                remaining = capacity.astype(np.float64).copy()
+                eligible = relayable[:, :, step]  # (terminals, N)
+                for own_pass in (True, False):
+                    for terminal_index in range(n_terminals):
+                        want = demand[terminal_index, step]
+                        if want <= 0.0 or assignment[terminal_index, step] >= 0:
+                            continue
+                        candidates = np.flatnonzero(eligible[terminal_index])
+                        if candidates.size == 0:
+                            continue
+                        own_sats = own_sat_of_terminal.get(terminal_index, set())
+                        if own_pass:
+                            candidates = np.array(
+                                [c for c in candidates if c in own_sats],
+                                dtype=np.int64,
+                            )
+                        if candidates.size == 0:
+                            continue
+                        candidates = candidates[remaining[candidates] > 0.0]
+                        if rate_caps is not None and candidates.size:
+                            candidates = candidates[
+                                rate_caps[terminal_index, candidates, step] > 0.0
+                            ]
+                        if candidates.size == 0:
+                            continue
+                        # Highest remaining capacity first; ties break on index.
+                        best = candidates[np.argmax(remaining[candidates])]
+                        grant = min(want, remaining[best])
+                        if rate_caps is not None:
+                            grant = min(
+                                grant, float(rate_caps[terminal_index, best, step])
+                            )
+                        remaining[best] -= grant
+                        served[terminal_index, step] = grant
+                        sat_load[best, step] += grant
+                        assignment[terminal_index, step] = best
 
         sessions = self._sessions_from_assignment(
             assignment, served, terminal_parties, sat_parties
         )
+        self._record_run_metrics(assignment, demand, sat_load, capacity, sessions)
         return SimulationResult(
             grid=self.grid,
             sessions=sessions,
@@ -334,6 +350,37 @@ class BentPipeSimulator:
             satellite_load_mbps=sat_load,
             terminal_names=[terminal.name for terminal in self.terminals],
             sat_ids=[satellite.sat_id for satellite in self.constellation],
+        )
+
+    @staticmethod
+    def _record_run_metrics(
+        assignment: np.ndarray,
+        demand: np.ndarray,
+        sat_load: np.ndarray,
+        capacity: np.ndarray,
+        sessions: Sequence[SessionEvent],
+    ) -> None:
+        """Account one engine run on the shared metrics registry."""
+        allocations = int(np.count_nonzero(assignment >= 0))
+        # A handover is a terminal switching between two satellites at
+        # consecutive steps (gaps in service are not handovers).
+        before, after = assignment[:, :-1], assignment[:, 1:]
+        handovers = int(
+            np.count_nonzero((before >= 0) & (after >= 0) & (before != after))
+        )
+        unserved = int(np.count_nonzero((demand > 0.0) & (assignment < 0)))
+        _SESSIONS.inc(len(sessions))
+        _ALLOCATIONS.inc(allocations)
+        _HANDOVERS.inc(handovers)
+        _UNSERVED_STEPS.inc(unserved)
+        total_capacity = float(capacity.sum())
+        if total_capacity > 0.0:
+            peak = float(sat_load.sum(axis=0).max()) / total_capacity
+            _SATURATION.set(max(_SATURATION.value, peak))
+        _LOG.info(
+            "engine run: %d sessions, %d allocations, %d handovers, "
+            "%d unserved demand steps",
+            len(sessions), allocations, handovers, unserved,
         )
 
     def _sessions_from_assignment(

@@ -28,17 +28,43 @@ from typing import Iterable, List, Sequence, Union
 import numpy as np
 
 from repro.constellation.satellite import Constellation
+from repro.obs import get_logger, metrics
+from repro.obs.trace import span
 from repro.orbits.elements import OrbitalElements
 from repro.orbits.frames import gmst_rad
 from repro.orbits.propagator import BatchPropagator
 from repro.ground.sites import GroundSite
 from repro.sim.clock import TimeGrid
 
+_LOG = get_logger(__name__)
+
+_PAIRS = metrics.counter("sim.visibility.pairs")
+_SAMPLES_TOTAL = metrics.counter("sim.visibility.pair_samples")
+_SAMPLES_VISIBLE = metrics.counter("sim.visibility.pair_samples_visible")
+_PASS_RATE = metrics.gauge("sim.visibility.mask_pass_rate")
+
 #: Default number of time samples processed per chunk.  2048 samples of a
 #: 2000-satellite constellation peak at ~100 MB of float64 intermediates.
 DEFAULT_CHUNK_SIZE = 2048
 
 ConstellationLike = Union[Constellation, Sequence[OrbitalElements], BatchPropagator]
+
+
+def _record_visibility_metrics(
+    n_sites: int, n_sats: int, n_times: int, visible_samples: int
+) -> None:
+    """Account one visibility computation: pair counts and mask pass rate."""
+    pairs = n_sites * n_sats
+    samples = pairs * n_times
+    _PAIRS.inc(pairs)
+    _SAMPLES_TOTAL.inc(samples)
+    _SAMPLES_VISIBLE.inc(visible_samples)
+    if samples:
+        _PASS_RATE.set(visible_samples / samples)
+    _LOG.debug(
+        "visibility: %d sites x %d sats x %d steps, mask pass rate %.4f",
+        n_sites, n_sats, n_times, visible_samples / samples if samples else 0.0,
+    )
 
 
 def _as_propagator(constellation: ConstellationLike) -> BatchPropagator:
@@ -137,15 +163,19 @@ class VisibilityEngine:
 
         total = self.grid.count
         visible = np.empty((len(sites), propagator.count, total), dtype=bool)
-        offset = 0
-        for chunk_times in self.grid.chunks(self.chunk_size):
-            sat_units = propagator.unit_positions_eci(chunk_times)  # (N, Tc, 3)
-            site_units = self._site_units_eci(sites, chunk_times)  # (S, Tc, 3)
-            dots = np.einsum("ntk,stk->snt", sat_units, site_units, optimize=True)
-            visible[:, :, offset : offset + chunk_times.size] = (
-                dots >= thresholds[:, :, None]
-            )
-            offset += chunk_times.size
+        with span("visibility.tensor"):
+            offset = 0
+            for chunk_times in self.grid.chunks(self.chunk_size):
+                sat_units = propagator.unit_positions_eci(chunk_times)  # (N, Tc, 3)
+                site_units = self._site_units_eci(sites, chunk_times)  # (S, Tc, 3)
+                dots = np.einsum("ntk,stk->snt", sat_units, site_units, optimize=True)
+                visible[:, :, offset : offset + chunk_times.size] = (
+                    dots >= thresholds[:, :, None]
+                )
+                offset += chunk_times.size
+        _record_visibility_metrics(
+            len(sites), propagator.count, total, np.count_nonzero(visible)
+        )
         return visible
 
     def site_coverage(
@@ -313,14 +343,20 @@ def packed_visibility(
     total = grid.count
     n_bytes = (total + 7) // 8
     packed = np.zeros((len(sites), propagator.count, n_bytes), dtype=np.uint8)
-    offset = 0
-    for chunk_times in grid.chunks(engine.chunk_size):
-        sat_units = propagator.unit_positions_eci(chunk_times)
-        site_units = engine._site_units_eci(sites, chunk_times)
-        dots = np.einsum("ntk,stk->snt", sat_units, site_units, optimize=True)
-        visible = dots >= thresholds[:, :, None]
-        byte_offset = offset // 8
-        chunk_packed = np.packbits(visible, axis=2)
-        packed[:, :, byte_offset : byte_offset + chunk_packed.shape[2]] = chunk_packed
-        offset += chunk_times.size
+    with span("visibility.pack"):
+        offset = 0
+        for chunk_times in grid.chunks(engine.chunk_size):
+            sat_units = propagator.unit_positions_eci(chunk_times)
+            site_units = engine._site_units_eci(sites, chunk_times)
+            dots = np.einsum("ntk,stk->snt", sat_units, site_units, optimize=True)
+            visible = dots >= thresholds[:, :, None]
+            byte_offset = offset // 8
+            chunk_packed = np.packbits(visible, axis=2)
+            packed[:, :, byte_offset : byte_offset + chunk_packed.shape[2]] = chunk_packed
+            offset += chunk_times.size
+    # Visible-bit accounting via popcount on the packed bytes (padding bits
+    # are zero, so they never inflate the count).
+    _record_visibility_metrics(
+        len(sites), propagator.count, total, int(_POPCOUNT[packed].sum())
+    )
     return PackedVisibility(packed, total, grid)

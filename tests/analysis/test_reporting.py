@@ -45,6 +45,43 @@ class TestTable:
         assert "1000.000" not in table.render()
 
 
+class TestTableRenderDetails:
+    def test_title_line_format(self):
+        table = Table("my title", ["a"])
+        assert table.render().splitlines()[0] == "== my title =="
+
+    def test_cells_right_justified_under_headers(self):
+        table = Table("t", ["value"])
+        table.add_row(7)
+        header, rule, row = table.render().splitlines()[1:]
+        assert header == "value"
+        assert rule == "-" * len("value")
+        assert row == "    7"
+
+    def test_bool_rendered_as_word_not_number(self):
+        table = Table("t", ["flag"], precision=2)
+        table.add_row(True)
+        rendered = table.render()
+        assert "True" in rendered
+        assert "1.00" not in rendered
+
+    def test_string_cells_pass_through(self):
+        table = Table("t", ["name", "x"], precision=1)
+        table.add_row("inclination", 1.234)
+        rendered = table.render()
+        assert "inclination" in rendered
+        assert "1.2" in rendered
+
+    def test_print_goes_to_stdout(self, capsys):
+        """Figure tables are contractually stdout (not the logging layer)."""
+        table = Table("t", ["a"])
+        table.add_row(1)
+        table.print()
+        captured = capsys.readouterr()
+        assert "== t ==" in captured.out
+        assert captured.err == ""
+
+
 class TestSeries:
     def test_points_rendered(self):
         series = Series("fig2", "satellites", "uncovered %")
@@ -61,3 +98,23 @@ class TestSeries:
         series.add_point(2, 20.0)
         assert series.xs == [1.0, 2.0]
         assert series.ys == [10.0, 20.0]
+
+    def test_precision_applies_to_both_axes(self):
+        series = Series("s", "x", "y", precision=1)
+        series.add_point(1.2345, 9.8765)
+        rendered = series.render()
+        assert "1.2 -> 9.9" in rendered
+        assert "1.23" not in rendered
+
+    def test_empty_series_renders_header_only(self):
+        series = Series("s", "x", "y")
+        lines = series.render().splitlines()
+        assert lines == ["== s ==", "x -> y"]
+
+    def test_print_goes_to_stdout(self, capsys):
+        series = Series("s", "x", "y")
+        series.add_point(1, 2)
+        series.print()
+        captured = capsys.readouterr()
+        assert "1 -> 2" in captured.out
+        assert captured.err == ""

@@ -45,6 +45,28 @@ class TestCommon:
         assert common.ALL_SITES[common.TAIPEI_INDEX].name == "Taipei"
         assert len(common.CITY_INDICES) == 21
 
+    def test_default_duration_is_one_week(self):
+        assert ExperimentConfig().duration_s == pytest.approx(7 * 86400.0)
+        assert ExperimentConfig().grid().duration_s == pytest.approx(7 * 86400.0)
+
+    def test_duration_flows_into_grid(self):
+        config = ExperimentConfig(step_s=900.0, duration_s=2 * 86400.0)
+        assert config.grid().duration_s == 2 * 86400.0
+        assert config.grid().count == 192
+
+    def test_duration_in_visibility_cache_key(self):
+        """Regression: two configs differing only in horizon must not alias
+        to one cached tensor (the key once omitted duration_s)."""
+        short = ExperimentConfig(runs=1, step_s=1800.0, duration_s=86400.0)
+        week = ExperimentConfig(runs=1, step_s=1800.0)
+        vis_short = common.pool_visibility(short)
+        vis_week = common.pool_visibility(week)
+        assert vis_short is not vis_week
+        assert vis_short.n_times == short.grid().count
+        assert vis_week.n_times == week.grid().count
+        # Each entry still hits on an exact-match config.
+        assert common.pool_visibility(short) is vis_short
+
 
 class TestFig2:
     def test_monotone_coverage(self):

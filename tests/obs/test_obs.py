@@ -1,0 +1,260 @@
+"""Tests for the observability layer: metrics registry, spans, run reports."""
+
+import json
+import logging
+
+import pytest
+
+from repro.experiments.common import ExperimentConfig
+from repro.obs import log as obs_log
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import (
+    REPORT_SCHEMA_VERSION,
+    collect_run_report,
+    write_run_report,
+)
+from repro.obs.trace import Tracer, profile
+
+
+class TestCounters:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("x")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_counter_get_or_create(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_counter_rejects_decrease(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="cannot decrease"):
+            registry.counter("x").inc(-1)
+
+    def test_name_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x")
+
+
+class TestGauges:
+    def test_set_and_add(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("g")
+        gauge.set(2.5)
+        gauge.add(-1.0)
+        assert gauge.value == 1.5
+
+
+class TestHistograms:
+    def test_bucket_placement(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=(1.0, 10.0))
+        histogram.observe(0.5)   # bucket 0 (<= 1)
+        histogram.observe(5.0)   # bucket 1 (<= 10)
+        histogram.observe(100.0)  # overflow (+inf)
+        assert histogram.counts == [1, 1, 1]
+        assert histogram.count == 3
+        assert histogram.sum == pytest.approx(105.5)
+        assert histogram.mean == pytest.approx(105.5 / 3)
+
+    def test_bucket_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError, match="different buckets"):
+            registry.histogram("h", buckets=(1.0, 3.0))
+
+    def test_non_increasing_buckets_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="strictly increase"):
+            registry.histogram("h", buckets=(2.0, 1.0))
+
+
+class TestRegistry:
+    def test_snapshot_layout(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(7.0)
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"c": 3}
+        assert snapshot["gauges"] == {"g": 7.0}
+        assert snapshot["histograms"]["h"]["counts"] == [1, 0]
+        json.dumps(snapshot)  # Must be JSON-serializable as-is.
+
+    def test_reset_zeroes_in_place(self):
+        """Module-level instrument references survive a reset."""
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.inc(9)
+        registry.reset()
+        assert counter.value == 0
+        counter.inc()
+        assert registry.snapshot()["counters"]["c"] == 1
+
+
+class TestSpans:
+    def test_nesting_records_parent_and_depth(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        by_name = {record.name: record for record in tracer.records}
+        assert by_name["inner"].parent == "outer"
+        assert by_name["inner"].depth == 1
+        assert by_name["outer"].parent is None
+        assert by_name["outer"].depth == 0
+        # The inner span finishes first.
+        assert tracer.records[0].name == "inner"
+
+    def test_stats_aggregate(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("phase"):
+                pass
+        stats = tracer.stats()["phase"]
+        assert stats["count"] == 3
+        assert stats["total_s"] >= stats["max_s"] >= stats["min_s"] >= 0.0
+
+    def test_record_cap_keeps_aggregates(self):
+        tracer = Tracer(max_records=2)
+        for _ in range(5):
+            with tracer.span("phase"):
+                pass
+        assert len(tracer.records) == 2
+        assert tracer.dropped_records == 3
+        assert tracer.stats()["phase"]["count"] == 5
+
+    def test_timed_decorator(self):
+        tracer = Tracer()
+
+        @tracer.timed("named")
+        def work():
+            return 42
+
+        assert work() == 42
+        assert tracer.stats()["named"]["count"] == 1
+
+    def test_span_survives_exceptions(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("failing"):
+                raise RuntimeError("boom")
+        assert tracer.stats()["failing"]["count"] == 1
+        assert tracer._stack() == []
+
+    def test_reset(self):
+        tracer = Tracer()
+        with tracer.span("phase"):
+            pass
+        tracer.reset()
+        assert tracer.records == []
+        assert tracer.stats() == {}
+
+    def test_profile_writes_pstats(self, tmp_path):
+        out = tmp_path / "run.pstats"
+        with profile(str(out)):
+            sum(range(1000))
+        assert out.exists() and out.stat().st_size > 0
+
+    def test_profile_disabled_on_falsy_path(self):
+        with profile(None):
+            pass  # Must be a no-op.
+
+
+class TestLogging:
+    def test_logger_hierarchy(self):
+        assert obs_log.get_logger("sim.engine").name == "repro.sim.engine"
+        assert obs_log.get_logger("repro.core.market").name == "repro.core.market"
+        assert obs_log.get_logger().name == "repro"
+
+    def test_resolve_level_env(self, monkeypatch):
+        monkeypatch.setenv(obs_log.ENV_VAR, "DEBUG")
+        assert obs_log.resolve_level() == logging.DEBUG
+        assert obs_log.resolve_level("ERROR") == logging.ERROR
+
+    def test_resolve_level_rejects_garbage(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            obs_log.resolve_level("LOUD")
+
+    def test_configure_idempotent(self):
+        root = obs_log.configure_logging("INFO")
+        obs_log.configure_logging("DEBUG")
+        handlers = [
+            handler for handler in root.handlers
+            if getattr(handler, "_repro_obs_handler", False)
+        ]
+        assert len(handlers) == 1
+        assert root.level == logging.DEBUG
+
+
+class TestRunReport:
+    def test_round_trip_schema(self, tmp_path):
+        """write -> json.load preserves the pinned top-level layout."""
+        config = ExperimentConfig(runs=2, step_s=600.0, seed=11)
+        path = tmp_path / "run.json"
+        written = write_run_report(str(path), command="fig2", config=config)
+        loaded = json.loads(path.read_text())
+        assert loaded == written
+        assert set(loaded) == {
+            "schema", "command", "config", "seed", "spans", "span_stats",
+            "dropped_spans", "metrics", "meta",
+        }
+        assert loaded["schema"] == REPORT_SCHEMA_VERSION
+        assert loaded["command"] == "fig2"
+        assert loaded["seed"] == 11
+        assert loaded["config"]["step_s"] == 600.0
+        assert loaded["config"]["duration_s"] == ExperimentConfig().duration_s
+
+    def test_standard_counters_always_present(self):
+        """Engine/cache/market counters appear even in runs that skip them,
+        so "zero" is distinguishable from "not measured"."""
+        report = collect_run_report()
+        counters = report["metrics"]["counters"]
+        for name in (
+            "sim.engine.sessions",
+            "sim.engine.allocations",
+            "sim.engine.handovers",
+            "experiments.visibility_cache.hits",
+            "experiments.visibility_cache.misses",
+            "core.market.invoices",
+            "sim.visibility.pairs",
+        ):
+            assert name in counters
+
+    def test_spans_land_in_report(self):
+        obs_trace.TRACER.reset()
+        with obs_trace.span("unit.test.phase"):
+            pass
+        report = collect_run_report()
+        assert "unit.test.phase" in report["span_stats"]
+        names = [record["name"] for record in report["spans"]]
+        assert "unit.test.phase" in names
+        obs_trace.TRACER.reset()
+
+    def test_dict_config_and_extra(self, tmp_path):
+        path = tmp_path / "run.json"
+        report = write_run_report(
+            str(path), config={"seed": 5, "knob": "a"}, extra={"note": "hi"}
+        )
+        assert report["seed"] == 5
+        assert report["extra"] == {"note": "hi"}
+
+    def test_global_metrics_reset_preserves_module_instruments(self):
+        """obs_metrics.reset() must not orphan instrumented modules."""
+        from repro.experiments import common
+
+        obs_metrics.reset()
+        common.clear_caches()
+        common.starlink_pool()  # miss
+        common.starlink_pool()  # hit
+        counters = obs_metrics.snapshot()["counters"]
+        assert counters["experiments.pool_cache.misses"] == 1
+        assert counters["experiments.pool_cache.hits"] == 1
+        common.clear_caches()
+        obs_metrics.reset()

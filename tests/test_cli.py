@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import EXPERIMENTS, build_parser, main
@@ -15,6 +17,10 @@ class TestParser:
         assert args.runs == 10
         assert args.step == 300.0
         assert args.seed == 2024
+        assert args.duration == pytest.approx(7 * 86400.0)
+        assert args.log_level is None
+        assert args.metrics_out is None
+        assert args.profile is None
 
     def test_overrides(self):
         args = build_parser().parse_args(
@@ -24,20 +30,55 @@ class TestParser:
         assert args.step == 600.0
         assert args.seed == 1
 
+    def test_observability_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "fig2", "--duration", "86400", "--log-level", "DEBUG",
+                "--metrics-out", "run.json", "--profile", "run.pstats",
+            ]
+        )
+        assert args.duration == 86400.0
+        assert args.log_level == "DEBUG"
+        assert args.metrics_out == "run.json"
+        assert args.profile == "run.pstats"
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig99"])
+
+    def test_unknown_command_message_is_usable(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            build_parser().parse_args(["fig99"])
+        assert exc_info.value.code != 0
+        captured = capsys.readouterr()
+        assert "invalid choice" in captured.err
+        assert "python -m repro list" in captured.err
 
     def test_command_required(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as exc_info:
+            build_parser().parse_args(["--version"])
+        assert exc_info.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
 
 class TestMain:
     def test_list_prints_all_experiments(self, capsys):
         assert main(["list"]) == 0
-        printed = capsys.readouterr().out.split()
-        assert set(printed) == set(EXPERIMENTS)
+        out = capsys.readouterr().out
+        names = out.split("\n\n")[0].split()
+        assert set(names) == set(EXPERIMENTS)
+
+    def test_list_mentions_observability_flags(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for flag in ("--log-level", "--metrics-out", "--profile", "--duration"):
+            assert flag in out
 
     def test_fig4c_runs(self, capsys):
         """fig4c is the cheapest experiment (no pool propagation)."""
@@ -50,3 +91,39 @@ class TestMain:
         assert main(["fig4b", "--runs", "1", "--step", "600"]) == 0
         out = capsys.readouterr().out
         assert "best offset" in out
+
+    def test_metrics_out_writes_run_report(self, capsys, tmp_path):
+        path = tmp_path / "run.json"
+        assert main(
+            ["fig4c", "--runs", "1", "--step", "600", "--metrics-out", str(path)]
+        ) == 0
+        report = json.loads(path.read_text())
+        assert report["command"] == "fig4c"
+        assert report["config"]["runs"] == 1
+        assert report["config"]["step_s"] == 600.0
+        assert report["seed"] == 2024
+        assert "experiment.fig4c" in report["span_stats"]
+        assert "sim.engine.sessions" in report["metrics"]["counters"]
+        assert "experiments.visibility_cache.hits" in report["metrics"]["counters"]
+
+    def test_profile_writes_pstats(self, capsys, tmp_path):
+        path = tmp_path / "run.pstats"
+        assert main(
+            ["fig4c", "--runs", "1", "--step", "600", "--profile", str(path)]
+        ) == 0
+        assert path.exists() and path.stat().st_size > 0
+
+    def test_duration_flag_shrinks_horizon(self, capsys):
+        """A one-day fig4b run must parse and complete (smaller grid)."""
+        assert main(
+            ["fig4b", "--runs", "1", "--step", "900", "--duration", "86400"]
+        ) == 0
+        assert "best offset" in capsys.readouterr().out
+
+    def test_tables_stay_on_stdout_with_logging_enabled(self, capsys):
+        assert main(
+            ["fig4c", "--runs", "1", "--step", "600", "--log-level", "INFO"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "Fig. 4c" in captured.out
+        assert "Fig. 4c" not in captured.err
