@@ -1,17 +1,27 @@
-"""Idle-time distribution analytics (Fig. 3's metric, in depth).
+"""Idle-time and utilization analytics (Fig. 3's metric, in depth).
 
 Beyond the mean idle percentage the paper plots, these helpers expose the
 full distribution across satellites, which the incentive design cares about
 (a satellite whose idle time is concentrated over oceans earns nothing there
 regardless of the mean).
+
+The *timeline* half of the module turns raw engine outputs — the
+``(satellites, T)`` load matrix, or the ``allocation.grant`` events on the
+simulation timeline (:mod:`repro.obs.timeline`) — into queryable
+per-satellite and per-party :class:`UtilizationTimeline` objects: who was
+how busy, when.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
+
+from repro.obs import timeline as obs_timeline
+from repro.obs.timeline import TimelineEvent
+from repro.sim.clock import TimeGrid
 
 
 @dataclass(frozen=True)
@@ -56,3 +66,173 @@ def idle_reduction_series(
     if series.size < 2:
         raise ValueError("need at least two points")
     return -np.diff(series)
+
+
+@dataclass(frozen=True)
+class UtilizationTimeline:
+    """Per-label utilization over a time grid: who was how busy, when.
+
+    Attributes:
+        labels: Track labels (satellite ids or party names).
+        times_s: (T,) sample times, simulation seconds.
+        utilization: (len(labels), T) fractions in [0, 1].
+    """
+
+    labels: List[str]
+    times_s: np.ndarray
+    utilization: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.utilization.shape != (len(self.labels), self.times_s.size):
+            raise ValueError(
+                f"utilization shape {self.utilization.shape} != "
+                f"({len(self.labels)}, {self.times_s.size})"
+            )
+
+    def series(self, label: str) -> np.ndarray:
+        """One label's utilization timeline.
+
+        Raises:
+            KeyError: On an unknown label.
+        """
+        try:
+            index = self.labels.index(label)
+        except ValueError:
+            raise KeyError(f"unknown label {label!r}") from None
+        return self.utilization[index]
+
+    def mean_by_label(self) -> Dict[str, float]:
+        """Time-averaged utilization per label."""
+        return {
+            label: float(self.utilization[index].mean())
+            for index, label in enumerate(self.labels)
+        }
+
+    def peak_by_label(self) -> Dict[str, float]:
+        """Peak utilization per label."""
+        return {
+            label: float(self.utilization[index].max())
+            for index, label in enumerate(self.labels)
+        }
+
+
+def satellite_utilization(
+    load_mbps: np.ndarray,
+    capacity_mbps: Sequence[float],
+    grid: TimeGrid,
+    sat_ids: Sequence[str],
+) -> UtilizationTimeline:
+    """Per-satellite load/capacity timelines from an engine run.
+
+    Args:
+        load_mbps: (satellites, T) allocated load
+            (:attr:`~repro.sim.engine.SimulationResult.satellite_load_mbps`).
+        capacity_mbps: Nominal capacity per satellite (zero-capacity
+            satellites report 0 utilization).
+        grid: The run's time grid.
+        sat_ids: Track labels, one per satellite.
+    """
+    load = np.asarray(load_mbps, dtype=np.float64)
+    capacity = np.asarray(list(capacity_mbps), dtype=np.float64)
+    if load.ndim != 2:
+        raise ValueError(f"load must be (satellites, T), got {load.shape}")
+    if load.shape != (capacity.size, grid.count):
+        raise ValueError(
+            f"load shape {load.shape} != ({capacity.size}, {grid.count})"
+        )
+    if len(sat_ids) != capacity.size:
+        raise ValueError(f"need {capacity.size} sat ids, got {len(sat_ids)}")
+    with np.errstate(invalid="ignore", divide="ignore"):
+        utilization = np.where(
+            capacity[:, None] > 0.0, load / capacity[:, None], 0.0
+        )
+    return UtilizationTimeline(
+        labels=list(sat_ids), times_s=grid.times_s, utilization=utilization
+    )
+
+
+def party_utilization(
+    load_mbps: np.ndarray,
+    capacity_mbps: Sequence[float],
+    grid: TimeGrid,
+    sat_parties: Sequence[str],
+) -> UtilizationTimeline:
+    """Per-party utilization: each party's pooled load over pooled capacity.
+
+    Groups the satellite rows by owning party; a party's utilization at a
+    step is the sum of its satellites' loads divided by the sum of their
+    capacities (labels sorted for determinism).
+    """
+    load = np.asarray(load_mbps, dtype=np.float64)
+    capacity = np.asarray(list(capacity_mbps), dtype=np.float64)
+    if load.ndim != 2 or load.shape[0] != capacity.size:
+        raise ValueError(
+            f"load shape {load.shape} incompatible with "
+            f"{capacity.size} capacities"
+        )
+    if len(sat_parties) != capacity.size:
+        raise ValueError(
+            f"need {capacity.size} parties, got {len(sat_parties)}"
+        )
+    parties = sorted(set(sat_parties))
+    rows = np.zeros((len(parties), load.shape[1]))
+    for party_index, party in enumerate(parties):
+        member = [i for i, p in enumerate(sat_parties) if p == party]
+        pooled_capacity = float(capacity[member].sum())
+        if pooled_capacity > 0.0:
+            rows[party_index] = load[member].sum(axis=0) / pooled_capacity
+    return UtilizationTimeline(
+        labels=parties, times_s=grid.times_s, utilization=rows
+    )
+
+
+def utilization_from_events(
+    grid: TimeGrid,
+    events: Optional[Iterable[TimelineEvent]] = None,
+    by: str = "subject",
+    kinds: Sequence[str] = (obs_timeline.ALLOC_GRANT,),
+) -> UtilizationTimeline:
+    """Busy-fraction timelines reconstructed from timeline events.
+
+    Turns windowed events (allocation grants by default) into per-track
+    busy masks on the grid: a track is "busy" (utilization 1.0) at every
+    sample covered by one of its windows.  This is the query path for runs
+    where only the event timeline survives (e.g. a loaded ``--metrics-out``
+    report), with no load matrices in memory.
+
+    Args:
+        grid: The grid to sample on.
+        events: Events to aggregate (default: the global timeline's).
+        by: Track key — ``"subject"`` (satellites/stations) or ``"party"``.
+        kinds: Event kinds counted as busy time.
+
+    Raises:
+        ValueError: On an unknown ``by`` key.
+    """
+    if by not in ("subject", "party"):
+        raise ValueError(f"by must be 'subject' or 'party', got {by!r}")
+    if events is None:
+        events = obs_timeline.TIMELINE.events()
+    wanted = frozenset(kinds)
+    times = grid.times_s
+    masks: Dict[str, np.ndarray] = {}
+    for event in events:
+        if event.kind not in wanted:
+            continue
+        label = event.subject if by == "subject" else event.party
+        if not label:
+            continue
+        mask = masks.get(label)
+        if mask is None:
+            mask = np.zeros(times.size, dtype=bool)
+            masks[label] = mask
+        mask |= (times >= event.t_s) & (times < event.stop_s)
+    labels = sorted(masks)
+    utilization = (
+        np.stack([masks[label] for label in labels]).astype(np.float64)
+        if labels
+        else np.zeros((0, times.size))
+    )
+    return UtilizationTimeline(
+        labels=labels, times_s=times, utilization=utilization
+    )

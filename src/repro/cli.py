@@ -12,6 +12,15 @@ the reference configuration and measured-vs-paper numbers).  Figure tables
 go to stdout; diagnostics go through the ``repro.*`` logger hierarchy
 (``--log-level`` / ``REPRO_LOG``), and ``--metrics-out`` writes a JSON run
 report with span timings, counters, and the exact configuration + seed.
+``--trace-out`` additionally writes a Chrome trace-event file of the run's
+spans and simulation timeline, loadable in Perfetto (https://ui.perfetto.dev).
+
+Beyond the figures there is one utility subcommand::
+
+    python -m repro bench-compare BENCH_A.json BENCH_B.json [--threshold 1.25]
+
+which diffs two benchmark records (see benchmarks/) and exits non-zero on a
+wall-clock regression past the threshold.
 """
 
 from __future__ import annotations
@@ -25,7 +34,7 @@ from repro.analysis.reporting import Series, Table
 from repro.constants import WEEK_S
 from repro.experiments.common import ExperimentConfig
 from repro.obs import configure_logging, get_logger, write_run_report
-from repro.obs.trace import profile, span
+from repro.obs.trace import profile, span, track_memory
 
 _LOG = get_logger(__name__)
 
@@ -34,6 +43,8 @@ OBSERVABILITY_FLAGS = (
     ("--log-level", "diagnostic verbosity (DEBUG..CRITICAL; also REPRO_LOG env)"),
     ("--metrics-out", "write a JSON run report (spans, counters, config, seed)"),
     ("--profile", "dump cProfile stats for the run to a .pstats file"),
+    ("--trace-out", "write a Chrome trace-event JSON (open in Perfetto)"),
+    ("--track-memory", "sample tracemalloc peaks per span (adds overhead)"),
 )
 
 
@@ -243,6 +254,16 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         "--profile", default=None, metavar="FILE",
         help="profile the run with cProfile and dump stats to FILE (.pstats)",
     )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write a Chrome trace-event JSON of the run (spans + simulation "
+        "timeline) to FILE; open it in Perfetto or chrome://tracing",
+    )
+    parser.add_argument(
+        "--track-memory", action="store_true",
+        help="sample tracemalloc peak memory per span (folded into the "
+        "--metrics-out report; adds measurable overhead)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -268,6 +289,29 @@ def build_parser() -> argparse.ArgumentParser:
 
     all_sub = subparsers.add_parser("all", help="run every experiment")
     _add_common_arguments(all_sub)
+
+    bench = subparsers.add_parser(
+        "bench-compare",
+        help="diff two benchmark records and flag wall-clock regressions",
+    )
+    bench.add_argument("bench_a", metavar="BENCH_A.json",
+                       help="baseline benchmark record")
+    bench.add_argument("bench_b", metavar="BENCH_B.json",
+                       help="candidate benchmark record")
+    bench.add_argument(
+        "--threshold", type=float, default=1.25, metavar="RATIO",
+        help="fail when a figure's wall-clock ratio (new/base) exceeds "
+        "this (default: 1.25)",
+    )
+    bench.add_argument(
+        "--min-wall-s", type=float, default=0.01, metavar="SECONDS",
+        help="ignore figures faster than this in the candidate record "
+        "(default: 0.01)",
+    )
+    bench.add_argument(
+        "--report-only", action="store_true",
+        help="print the comparison but always exit 0",
+    )
     return parser
 
 
@@ -290,32 +334,55 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "list":
         return _run_list()
 
+    if args.command == "bench-compare":
+        from repro.obs.bench import run_bench_compare
+
+        configure_logging(getattr(args, "log_level", None))
+        return run_bench_compare(
+            args.bench_a,
+            args.bench_b,
+            threshold=args.threshold,
+            min_wall_s=args.min_wall_s,
+            report_only=args.report_only,
+        )
+
     configure_logging(args.log_level)
     config = _config_from_args(args)
-    for flag, path in (("--metrics-out", args.metrics_out), ("--profile", args.profile)):
+    for path in (args.metrics_out, args.profile, args.trace_out):
         parent = os.path.dirname(os.path.abspath(path)) if path else None
-        if parent and not os.path.isdir(parent):
-            parser.error(f"argument {flag}: directory does not exist: {parent}")
+        if parent:
+            os.makedirs(parent, exist_ok=True)
     _LOG.info("running %s with %s", args.command, config)
 
-    with profile(args.profile):
-        if args.command == "all":
-            for name, runner in EXPERIMENTS.items():
-                print(f"\n### {name} ###")
-                with span(f"experiment.{name}"):
-                    runner(config)
-        else:
-            with span(f"experiment.{args.command}"):
-                EXPERIMENTS[args.command](config)
+    with track_memory(args.track_memory):
+        with profile(args.profile):
+            if args.command == "all":
+                for name, runner in EXPERIMENTS.items():
+                    print(f"\n### {name} ###")
+                    with span(f"experiment.{name}"):
+                        runner(config)
+            else:
+                with span(f"experiment.{args.command}"):
+                    EXPERIMENTS[args.command](config)
 
-    if args.metrics_out:
-        report = write_run_report(
-            args.metrics_out, command=args.command, config=config
-        )
+        if args.metrics_out:
+            report = write_run_report(
+                args.metrics_out, command=args.command, config=config
+            )
+            _LOG.info(
+                "run report written to %s (%d spans, %d counters, "
+                "%d timeline events)",
+                args.metrics_out, len(report["spans"]),
+                len(report["metrics"]["counters"]),
+                len(report["timeline"]["events"]),
+            )
+    if args.trace_out:
+        from repro.obs.export import write_chrome_trace
+
+        document = write_chrome_trace(args.trace_out)
         _LOG.info(
-            "run report written to %s (%d spans, %d counters)",
-            args.metrics_out, len(report["spans"]),
-            len(report["metrics"]["counters"]),
+            "chrome trace written to %s (%d events)",
+            args.trace_out, len(document["traceEvents"]),
         )
     if args.profile:
         _LOG.info("profile written to %s", args.profile)

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Protocol, Sequence, Tuple
 
 from repro.core.ledger import LedgerError, TokenLedger
 from repro.obs import get_logger, metrics
+from repro.obs import timeline as obs_timeline
 from repro.sim.events import SessionEvent
 
 _LOG = get_logger(__name__)
@@ -168,6 +169,17 @@ class DataMarket:
             elif balance < 0.0:
                 ledger.transfer(creditor, debtor, -balance, memo="market settlement")
                 transfers[(creditor, debtor)] = -balance
+        # Settlement is a run-level act with no simulation timestamp of its
+        # own; events land at t=0 and carry the counterparty + amount.
+        for (payer, payee), amount in sorted(transfers.items()):
+            obs_timeline.emit(
+                obs_timeline.MARKET_SETTLEMENT,
+                0.0,
+                payer,
+                party=payer,
+                payee=payee,
+                tokens=amount,
+            )
         _SETTLEMENTS.inc(len(transfers))
         _SETTLED_TOKENS.inc(sum(transfers.values()))
         _LOG.debug(

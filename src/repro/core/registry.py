@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.constellation.satellite import Constellation, Satellite, UNASSIGNED_PARTY
 from repro.core.party import Party, contribution_ratio_split, stake_shares
+from repro.obs import timeline as obs_timeline
 
 
 class RegistryError(RuntimeError):
@@ -51,6 +52,13 @@ class MultiPartyConstellation:
         if party.name in self._parties:
             raise RegistryError(f"party {party.name!r} already joined")
         self._parties[party.name] = party
+        obs_timeline.emit(
+            obs_timeline.PARTY_JOIN,
+            0.0,
+            party.name,
+            party=party.name,
+            objective=party.objective.value,
+        )
 
     def leave(self, party_name: str) -> Constellation:
         """Withdraw a party and all its satellites.
@@ -72,6 +80,13 @@ class MultiPartyConstellation:
         for satellite in withdrawn:
             del self._satellites[satellite.sat_id]
         del self._parties[party_name]
+        obs_timeline.emit(
+            obs_timeline.PARTY_WITHDRAW,
+            0.0,
+            party_name,
+            party=party_name,
+            satellites=len(withdrawn),
+        )
         return Constellation(withdrawn, name=f"withdrawn-{party_name}")
 
     @property

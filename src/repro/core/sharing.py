@@ -18,6 +18,7 @@ from typing import Dict, List, Sequence, Tuple
 import numpy as np
 
 from repro.obs import get_logger, metrics
+from repro.obs import timeline as obs_timeline
 from repro.sim.events import SessionEvent
 
 _LOG = get_logger(__name__)
@@ -126,6 +127,22 @@ def exchange_matrix(
         matched += 1
     _MATCHED.inc(matched)
     _UNMATCHED.inc(len(sessions) - matched)
+    # Narrate the cross-party trades (run-level summary: one event per
+    # ordered pair with nonzero traded volume; own use stays off the wire).
+    for consumer_index, consumer in enumerate(parties):
+        for provider_index, provider in enumerate(parties):
+            if consumer_index == provider_index:
+                continue
+            volume = float(matrix[consumer_index, provider_index])
+            if volume > 0.0:
+                obs_timeline.emit(
+                    obs_timeline.SHARING_TRADE,
+                    0.0,
+                    consumer,
+                    party=consumer,
+                    provider=provider,
+                    megabits=volume,
+                )
     if matched < len(sessions):
         _LOG.debug(
             "exchange matrix dropped %d sessions from unknown parties",

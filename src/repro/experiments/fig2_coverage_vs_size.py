@@ -15,17 +15,26 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis.gaps import gap_timeline_events
 from repro.experiments.common import (
+    ALL_SITES,
     ExperimentConfig,
     TAIPEI_INDEX,
     pool_visibility,
     starlink_pool,
 )
 from repro.obs.trace import span
+from repro.sim.contacts import contact_events
 from repro.sim.coverage import gap_lengths_s
 
 #: Constellation sizes swept by default (the figure's x axis).
 DEFAULT_SIZES: Sequence[int] = (1, 10, 50, 100, 200, 500, 1000, 2000)
+
+#: Satellite tracks narrated onto the event timeline per swept size.  Only
+#: the first Monte-Carlo run of each size is narrated, and only this many
+#: of its visible satellites — enough to inspect a trace without flooding
+#: the ring buffer across an 8-point sweep.
+MAX_TRACED_SATELLITES = 8
 
 
 @dataclass(frozen=True)
@@ -55,12 +64,16 @@ def run_fig2(
     """Run the Fig. 2 sweep.
 
     Uses the shared packed-visibility pool: each Monte-Carlo run reduces the
-    Taipei row over a random satellite subset.
+    Taipei row over a random satellite subset.  The first run of each size
+    is also narrated onto the simulation timeline (coverage gaps at Taipei
+    plus per-satellite contact windows for a bounded satellite subset), so
+    ``--trace-out`` captures inspectable tracks from a figure run.
     """
     visibility = pool_visibility(config)
     pool_size = len(starlink_pool())
     rng = config.rng(salt=2)
-    step_s = config.grid().step_s
+    grid = config.grid()
+    step_s = grid.step_s
 
     points: List[Fig2Point] = []
     with span("analysis.fig2"):
@@ -75,6 +88,8 @@ def run_fig2(
                 uncovered[run] = 100.0 * (1.0 - mask.mean())
                 gaps = gap_lengths_s(mask, step_s)
                 max_gaps[run] = gaps.max() if gaps.size else 0.0
+                if run == 0:
+                    _narrate_run(visibility, indices, mask, grid)
             points.append(
                 Fig2Point(
                     satellites=size,
@@ -85,3 +100,21 @@ def run_fig2(
                 )
             )
     return Fig2Result(points=points, config=config)
+
+
+def _narrate_run(visibility, indices, mask, grid) -> None:
+    """Emit timeline events describing one Monte-Carlo run.
+
+    Gap open/close events come from the union Taipei mask; contact windows
+    come from the first :data:`MAX_TRACED_SATELLITES` satellites of the
+    sampled subset that are ever visible from Taipei.
+    """
+    site_name = ALL_SITES[TAIPEI_INDEX].name
+    gap_timeline_events(mask, grid.step_s, site=site_name)
+    sat_masks = visibility.satellite_masks(indices, [TAIPEI_INDEX])
+    active = np.flatnonzero(sat_masks.any(axis=1))[:MAX_TRACED_SATELLITES]
+    if active.size == 0:
+        return
+    pool = starlink_pool()
+    sat_ids = [pool[int(indices[row])].sat_id for row in active]
+    contact_events(sat_masks[active][None, :, :], [site_name], sat_ids, grid)

@@ -1,15 +1,23 @@
-"""repro.obs — the observability layer: logging, metrics, traces, reports.
+"""repro.obs — the observability layer: logging, metrics, traces, timeline.
 
-Four stdlib-only pieces, threaded through every package of the simulator:
+Seven stdlib-only pieces, threaded through every package of the simulator:
 
 * :mod:`repro.obs.log` — run-scoped structured logging under the
   ``repro.*`` hierarchy (``--log-level`` / ``REPRO_LOG``).
 * :mod:`repro.obs.metrics` — a process-local registry of counters, gauges,
-  and fixed-bucket histograms.
+  and fixed-bucket histograms (with percentile interpolation).
 * :mod:`repro.obs.trace` — nestable span timers (``with span("x"):``), a
-  ``@timed`` decorator, and a cProfile hook (``--profile``).
+  ``@timed`` decorator, tracemalloc memory sampling (``--track-memory``),
+  and a cProfile hook (``--profile``).
+* :mod:`repro.obs.timeline` — the ring-buffered *simulation* event
+  timeline: contacts, handovers, allocation grants/denies, saturation,
+  coverage gaps, party membership, market settlements.
+* :mod:`repro.obs.export` — Chrome trace-event JSON export
+  (``--trace-out``): spans + timeline as Perfetto-loadable tracks.
 * :mod:`repro.obs.report` — the JSON run-report writer (``--metrics-out``)
-  serializing spans, metrics, config, and seed for reproducible perf claims.
+  serializing spans, metrics, timeline, memory, config, and seed.
+* :mod:`repro.obs.bench` — the benchmark comparison tool / perf-regression
+  gate (``python -m repro bench-compare``).
 """
 
 from repro.obs.log import configure_logging, get_logger
@@ -19,13 +27,17 @@ from repro.obs.metrics import (
     counter,
     gauge,
     histogram,
+    percentile_from_counts,
 )
 from repro.obs.report import (
     REPORT_SCHEMA_VERSION,
     collect_run_report,
+    load_run_report,
+    validate_run_report,
     write_run_report,
 )
-from repro.obs.trace import TRACER, Tracer, profile, span, timed
+from repro.obs.timeline import TIMELINE, Timeline, TimelineEvent
+from repro.obs.trace import TRACER, Tracer, profile, span, timed, track_memory
 
 __all__ = [
     "configure_logging",
@@ -35,12 +47,19 @@ __all__ = [
     "counter",
     "gauge",
     "histogram",
+    "percentile_from_counts",
     "Tracer",
     "TRACER",
     "span",
     "timed",
     "profile",
+    "track_memory",
+    "Timeline",
+    "TimelineEvent",
+    "TIMELINE",
     "REPORT_SCHEMA_VERSION",
     "collect_run_report",
+    "load_run_report",
+    "validate_run_report",
     "write_run_report",
 ]

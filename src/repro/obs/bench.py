@@ -1,0 +1,304 @@
+"""Benchmark comparison: the perf-regression gate over ``BENCH_*.json``.
+
+The benchmark suite (``pytest benchmarks/``) writes a machine-readable
+record — per-figure wall-clock, span aggregates, and the full metrics
+snapshot.  This module diffs two such records and flags regressions::
+
+    python -m repro bench-compare benchmarks/BENCH_PR1.json bench_new.json \
+        --threshold 1.25
+
+A *figure regression* is a figure whose wall-clock grew by more than the
+threshold ratio (and whose new time is above a noise floor,
+:data:`MIN_WALL_S` — micro-benchmarks jitter by multiples without meaning
+anything).  The command prints a comparison table — including p50/p95/p99
+span durations interpolated from the ``trace.span_seconds.*`` histograms
+when present — and exits non-zero on any regression unless ``--report-only``
+is passed (CI's advisory mode).
+
+Both bench-record schemas are readable: schema 1 (the committed
+``BENCH_PR1.json`` baseline) and schema 2 (adds memory / timeline-drop
+accounting).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import percentile_from_counts
+from repro.obs.trace import SPAN_SECONDS_PREFIX
+
+#: Schemas :func:`load_bench` understands.
+SUPPORTED_BENCH_SCHEMAS = (1, 2)
+
+#: Figures faster than this (seconds) are never flagged: at sub-10 ms scale
+#: wall-clock ratios are scheduler noise, not performance signal.
+MIN_WALL_S = 0.01
+
+#: Default regression threshold: new/base wall-clock ratio.
+DEFAULT_THRESHOLD = 1.25
+
+#: Percentiles quoted for span-duration histograms.
+REPORT_PERCENTILES = (50.0, 95.0, 99.0)
+
+
+def load_bench(path: str) -> Dict[str, Any]:
+    """Read a benchmark record (schema 1 or 2), normalized in place.
+
+    Raises:
+        ValueError: On an unsupported schema or a record without figures.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        record = json.load(handle)
+    schema = record.get("schema")
+    if schema not in SUPPORTED_BENCH_SCHEMAS:
+        raise ValueError(
+            f"{path}: unsupported bench schema {schema!r} "
+            f"(supported: {SUPPORTED_BENCH_SCHEMAS})"
+        )
+    figures = record.get("figures")
+    if not isinstance(figures, dict) or not figures:
+        raise ValueError(f"{path}: bench record has no figures")
+    record.setdefault("span_stats", {})
+    record.setdefault("metrics", {"counters": {}, "gauges": {}, "histograms": {}})
+    return record
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One compared quantity (a figure's wall-clock or a span's total)."""
+
+    name: str
+    base_s: float
+    new_s: float
+
+    @property
+    def ratio(self) -> float:
+        """new/base; 1.0 when both are ~zero, inf when only base is."""
+        if self.base_s <= 0.0:
+            return 1.0 if self.new_s <= 0.0 else float("inf")
+        return self.new_s / self.base_s
+
+
+@dataclass
+class BenchComparison:
+    """The full diff of two benchmark records."""
+
+    base_path: str
+    new_path: str
+    threshold: float
+    min_wall_s: float
+    figures: List[Delta] = field(default_factory=list)
+    spans: List[Delta] = field(default_factory=list)
+    #: Figure deltas past the threshold (the gate's trigger set).
+    regressions: List[Delta] = field(default_factory=list)
+    #: Span-duration percentiles from the *new* record's histograms:
+    #: span name -> {"p50": s, "p95": s, "p99": s}.
+    percentiles: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: Figures present in only one record (config drift indicator).
+    only_in_base: List[str] = field(default_factory=list)
+    only_in_new: List[str] = field(default_factory=list)
+
+    @property
+    def regressed(self) -> bool:
+        return bool(self.regressions)
+
+    def exit_code(self, report_only: bool = False) -> int:
+        return 1 if (self.regressed and not report_only) else 0
+
+
+def _figure_wall_s(record: Dict[str, Any]) -> Dict[str, float]:
+    return {
+        name: float(entry.get("wall_s", 0.0))
+        for name, entry in record["figures"].items()
+    }
+
+
+def _span_totals(record: Dict[str, Any]) -> Dict[str, float]:
+    return {
+        name: float(stats.get("total_s", 0.0))
+        for name, stats in record.get("span_stats", {}).items()
+    }
+
+
+def span_duration_percentiles(
+    record: Dict[str, Any],
+    percentiles: Tuple[float, ...] = REPORT_PERCENTILES,
+) -> Dict[str, Dict[str, float]]:
+    """p50/p95/p99 span durations from ``trace.span_seconds.*`` histograms."""
+    histograms = record.get("metrics", {}).get("histograms", {})
+    result: Dict[str, Dict[str, float]] = {}
+    for name, histogram in sorted(histograms.items()):
+        if not name.startswith(SPAN_SECONDS_PREFIX):
+            continue
+        if not histogram.get("count"):
+            continue
+        span_name = name[len(SPAN_SECONDS_PREFIX):]
+        result[span_name] = {
+            f"p{int(p)}": percentile_from_counts(
+                histogram["buckets"], histogram["counts"], p
+            )
+            for p in percentiles
+        }
+    return result
+
+
+def compare_benchmarks(
+    base: Dict[str, Any],
+    new: Dict[str, Any],
+    threshold: float = DEFAULT_THRESHOLD,
+    min_wall_s: float = MIN_WALL_S,
+    base_path: str = "<base>",
+    new_path: str = "<new>",
+) -> BenchComparison:
+    """Diff two loaded benchmark records.
+
+    Args:
+        base: The committed baseline (e.g. ``BENCH_PR1.json``).
+        new: The fresh record to gate.
+        threshold: Regression trigger: new/base ratio above this fails.
+        min_wall_s: Noise floor — figures whose *new* wall-clock is below
+            this are compared but never flagged.
+
+    Raises:
+        ValueError: On a non-positive threshold.
+    """
+    if threshold <= 0.0:
+        raise ValueError(f"threshold must be positive, got {threshold}")
+    result = BenchComparison(
+        base_path=base_path,
+        new_path=new_path,
+        threshold=threshold,
+        min_wall_s=min_wall_s,
+    )
+    base_figures = _figure_wall_s(base)
+    new_figures = _figure_wall_s(new)
+    result.only_in_base = sorted(set(base_figures) - set(new_figures))
+    result.only_in_new = sorted(set(new_figures) - set(base_figures))
+    for name in sorted(set(base_figures) & set(new_figures)):
+        delta = Delta(name, base_figures[name], new_figures[name])
+        result.figures.append(delta)
+        if delta.new_s >= min_wall_s and delta.ratio > threshold:
+            result.regressions.append(delta)
+    base_spans = _span_totals(base)
+    new_spans = _span_totals(new)
+    for name in sorted(set(base_spans) & set(new_spans)):
+        result.spans.append(Delta(name, base_spans[name], new_spans[name]))
+    result.percentiles = span_duration_percentiles(new)
+    return result
+
+
+def _format_ratio(ratio: float) -> str:
+    return "inf" if ratio == float("inf") else f"{ratio:.2f}x"
+
+
+def render_comparison(result: BenchComparison) -> str:
+    """The human-readable regression table ``bench-compare`` prints."""
+    lines: List[str] = []
+    lines.append(
+        f"bench-compare: base={result.base_path} new={result.new_path} "
+        f"threshold={result.threshold:.2f}x floor={result.min_wall_s * 1e3:.0f}ms"
+    )
+    lines.append("")
+    name_width = max(
+        [len("figure")] + [len(delta.name) for delta in result.figures]
+    )
+    header = (
+        f"{'figure':<{name_width}}  {'base_s':>10}  {'new_s':>10}  {'ratio':>7}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for delta in result.figures:
+        flag = "  REGRESSION" if delta in result.regressions else ""
+        lines.append(
+            f"{delta.name:<{name_width}}  {delta.base_s:>10.4f}  "
+            f"{delta.new_s:>10.4f}  {_format_ratio(delta.ratio):>7}{flag}"
+        )
+    if result.only_in_base:
+        lines.append(f"only in base: {', '.join(result.only_in_base)}")
+    if result.only_in_new:
+        lines.append(f"only in new:  {', '.join(result.only_in_new)}")
+    if result.spans:
+        lines.append("")
+        span_width = max(
+            [len("span (total_s)")] + [len(delta.name) for delta in result.spans]
+        )
+        lines.append(
+            f"{'span (total_s)':<{span_width}}  {'base_s':>10}  "
+            f"{'new_s':>10}  {'ratio':>7}"
+        )
+        for delta in result.spans:
+            lines.append(
+                f"{delta.name:<{span_width}}  {delta.base_s:>10.4f}  "
+                f"{delta.new_s:>10.4f}  {_format_ratio(delta.ratio):>7}"
+            )
+    if result.percentiles:
+        lines.append("")
+        span_width = max(
+            [len("span durations (new)")]
+            + [len(name) for name in result.percentiles]
+        )
+        lines.append(
+            f"{'span durations (new)':<{span_width}}  {'p50_s':>10}  "
+            f"{'p95_s':>10}  {'p99_s':>10}"
+        )
+        for name, values in result.percentiles.items():
+            lines.append(
+                f"{name:<{span_width}}  {values['p50']:>10.4f}  "
+                f"{values['p95']:>10.4f}  {values['p99']:>10.4f}"
+            )
+    lines.append("")
+    if result.regressed:
+        lines.append(
+            f"FAIL: {len(result.regressions)} figure(s) regressed past "
+            f"{result.threshold:.2f}x:"
+        )
+        for delta in result.regressions:
+            lines.append(
+                f"  {delta.name}: {delta.base_s:.4f}s -> {delta.new_s:.4f}s "
+                f"({_format_ratio(delta.ratio)})"
+            )
+    else:
+        lines.append(
+            f"OK: no figure regressed past {result.threshold:.2f}x "
+            f"({len(result.figures)} compared)"
+        )
+    return "\n".join(lines)
+
+
+def run_bench_compare(
+    base_path: str,
+    new_path: str,
+    threshold: float = DEFAULT_THRESHOLD,
+    min_wall_s: float = MIN_WALL_S,
+    report_only: bool = False,
+    print_fn=print,
+) -> int:
+    """Load, compare, print, and return the process exit code (the CLI core)."""
+    base = load_bench(base_path)
+    new = load_bench(new_path)
+    result = compare_benchmarks(
+        base,
+        new,
+        threshold=threshold,
+        min_wall_s=min_wall_s,
+        base_path=base_path,
+        new_path=new_path,
+    )
+    print_fn(render_comparison(result))
+    if result.regressed and report_only:
+        print_fn("(report-only mode: exiting 0 despite regressions)")
+    return result.exit_code(report_only=report_only)
+
+
+def comparison_summary(result: BenchComparison) -> Optional[str]:
+    """One-line summary for logs; None when there is nothing to say."""
+    if not result.figures:
+        return None
+    worst = max(result.figures, key=lambda delta: delta.ratio)
+    return (
+        f"{len(result.figures)} figures compared, "
+        f"{len(result.regressions)} regressed; worst ratio "
+        f"{_format_ratio(worst.ratio)} ({worst.name})"
+    )

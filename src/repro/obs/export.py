@@ -1,0 +1,209 @@
+"""Chrome trace-event export: open a run in Perfetto / ``chrome://tracing``.
+
+:func:`write_chrome_trace` (the CLI's ``--trace-out``) serializes two
+sources into one `Trace Event Format
+<https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_
+JSON file:
+
+* the wall-clock spans collected by :mod:`repro.obs.trace` — one nested
+  track of "where the time went" (``pid`` :data:`SPAN_PID`), and
+* the simulation event timeline from :mod:`repro.obs.timeline` — one track
+  per satellite / party / site / terminal (``pid`` :data:`SIM_PID`), with
+  contact windows as begin/end slices, allocation grants/denies and
+  saturation as duration slices, and handovers/gap edges as instants.
+
+The two processes deliberately use different time bases: span tracks are in
+wall-clock microseconds since the tracer epoch, simulation tracks are in
+*simulation* microseconds on the experiment grid.  Perfetto renders both;
+compare within a process, not across.
+
+Spans that carried tracemalloc samples additionally emit a ``mem_peak_kb``
+counter track, so memory spikes line up visually with the phase that caused
+them.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.obs import timeline as _timeline
+from repro.obs import trace as _trace
+from repro.obs.timeline import (
+    CONTACT_BEGIN,
+    CONTACT_END,
+    WINDOWED_KINDS,
+    TimelineEvent,
+)
+from repro.obs.trace import SpanRecord
+
+#: Synthetic process ids grouping tracks in the trace viewer.
+SPAN_PID = 1  #: Wall-clock spans (tracer time base).
+SIM_PID = 2  #: Simulation timeline (simulation time base).
+
+_SPAN_TID = 1
+
+
+def _metadata(pid: int, name: str, tid: Optional[int] = None) -> Dict[str, Any]:
+    record: Dict[str, Any] = {
+        "ph": "M",
+        "pid": pid,
+        "name": "process_name" if tid is None else "thread_name",
+        "args": {"name": name},
+    }
+    if tid is not None:
+        record["tid"] = tid
+    return record
+
+
+def span_trace_events(spans: Sequence[SpanRecord]) -> List[Dict[str, Any]]:
+    """Spans as complete ("X") events on one nested wall-clock track."""
+    events: List[Dict[str, Any]] = [
+        _metadata(SPAN_PID, "wall clock (obs.trace spans)"),
+        _metadata(SPAN_PID, "spans", tid=_SPAN_TID),
+    ]
+    for record in spans:
+        event: Dict[str, Any] = {
+            "ph": "X",
+            "pid": SPAN_PID,
+            "tid": _SPAN_TID,
+            "name": record.name,
+            "cat": "span",
+            "ts": record.start_s * 1e6,
+            "dur": record.duration_s * 1e6,
+            "args": {"depth": record.depth, "parent": record.parent},
+        }
+        if record.mem_peak_kb is not None:
+            event["args"]["mem_peak_kb"] = record.mem_peak_kb
+        events.append(event)
+        if record.mem_peak_kb is not None:
+            events.append(
+                {
+                    "ph": "C",
+                    "pid": SPAN_PID,
+                    "tid": _SPAN_TID,
+                    "name": "mem_peak_kb",
+                    "ts": (record.start_s + record.duration_s) * 1e6,
+                    "args": {"kb": record.mem_peak_kb},
+                }
+            )
+    return events
+
+
+def _track_label(event: TimelineEvent) -> str:
+    """The viewer track an event lands on: its subject, else its party."""
+    return event.subject or event.party or "(run)"
+
+
+def timeline_trace_events(
+    events: Iterable[TimelineEvent],
+) -> List[Dict[str, Any]]:
+    """Timeline events as per-subject tracks in simulation time.
+
+    ``contact.begin`` events carry the window length (``duration_hint_s``)
+    and become complete "X" slices — the matching ``contact.end`` markers
+    are skipped so overlapping passes of one satellite over several sites
+    cannot mis-pair (Chrome "B"/"E" events nest LIFO per track).  A begin
+    without a duration hint degrades to an instant marker.  Windowed kinds
+    become "X" slices; everything else becomes a thread-scoped instant
+    ("i").
+    """
+    records: List[Dict[str, Any]] = [
+        _metadata(SIM_PID, "simulation timeline (sim seconds)")
+    ]
+    tids: Dict[str, int] = {}
+    for event in events:
+        label = _track_label(event)
+        tid = tids.get(label)
+        if tid is None:
+            tid = len(tids) + 1
+            tids[label] = tid
+            records.append(_metadata(SIM_PID, label, tid=tid))
+        base: Dict[str, Any] = {
+            "pid": SIM_PID,
+            "tid": tid,
+            "name": event.kind,
+            "cat": event.kind.split(".")[0],
+            "ts": event.t_s * 1e6,
+            "args": {"subject": event.subject, "party": event.party,
+                     **event.attrs},
+        }
+        if event.kind == CONTACT_BEGIN:
+            duration_s = event.attrs.get("duration_hint_s")
+            if isinstance(duration_s, (int, float)):
+                records.append(
+                    {**base, "ph": "X", "name": "contact", "dur": duration_s * 1e6}
+                )
+            else:
+                records.append({**base, "ph": "i", "s": "t"})
+        elif event.kind == CONTACT_END:
+            continue  # Rendered by the begin slice's duration.
+        elif event.kind in WINDOWED_KINDS:
+            records.append({**base, "ph": "X", "dur": event.duration_s * 1e6})
+        else:
+            records.append({**base, "ph": "i", "s": "t"})
+    return records
+
+
+def chrome_trace(
+    spans: Optional[Sequence[SpanRecord]] = None,
+    timeline_events: Optional[Iterable[TimelineEvent]] = None,
+) -> Dict[str, Any]:
+    """Assemble the full trace document (default: the global collectors)."""
+    if spans is None:
+        spans = list(_trace.TRACER.records)
+    if timeline_events is None:
+        timeline_events = _timeline.TIMELINE.events()
+    return {
+        "traceEvents": (
+            span_trace_events(spans) + timeline_trace_events(timeline_events)
+        ),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro.obs.export",
+            "span_time_base": "wall-clock seconds since tracer epoch",
+            "sim_time_base": "simulation seconds on the experiment grid",
+        },
+    }
+
+
+def write_chrome_trace(
+    path: str,
+    spans: Optional[Sequence[SpanRecord]] = None,
+    timeline_events: Optional[Iterable[TimelineEvent]] = None,
+) -> Dict[str, Any]:
+    """Write the trace JSON to ``path`` and return the written document."""
+    document = chrome_trace(spans=spans, timeline_events=timeline_events)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+        handle.write("\n")
+    return document
+
+
+def validate_chrome_trace(document: Dict[str, Any]) -> None:
+    """Raise ValueError unless ``document`` is structurally a Chrome trace.
+
+    Checks the invariants the viewers rely on: a ``traceEvents`` list whose
+    entries carry a phase/pid/name, numeric timestamps on non-metadata
+    events, and durations on complete events.  Used by tests and the CI
+    ``bench-smoke`` job.
+    """
+    if not isinstance(document, dict) or "traceEvents" not in document:
+        raise ValueError("not a chrome trace: missing 'traceEvents'")
+    events = document["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("'traceEvents' must be a list")
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"traceEvents[{index}] is not an object")
+        for key in ("ph", "pid", "name"):
+            if key not in event:
+                raise ValueError(f"traceEvents[{index}] missing {key!r}")
+        if event["ph"] == "M":
+            continue
+        if not isinstance(event.get("ts"), (int, float)):
+            raise ValueError(f"traceEvents[{index}] has no numeric 'ts'")
+        if event["ph"] == "X" and not isinstance(
+            event.get("dur"), (int, float)
+        ):
+            raise ValueError(f"traceEvents[{index}] ('X') has no 'dur'")

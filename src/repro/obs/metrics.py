@@ -99,10 +99,62 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def percentile(self, p: float) -> float:
+        """Estimate the p-th percentile by linear bucket interpolation."""
+        return percentile_from_counts(self.buckets, self.counts, p)
+
     def _reset(self) -> None:
         self.counts = [0] * (len(self.buckets) + 1)
         self.sum = 0.0
         self.count = 0
+
+
+def percentile_from_counts(
+    buckets: Sequence[float], counts: Sequence[int], p: float
+) -> float:
+    """Percentile estimate from histogram buckets (linear interpolation).
+
+    Works directly on the ``buckets``/``counts`` lists a snapshot or a JSON
+    run report carries, so ``bench-compare`` can quote p50/p95/p99 span
+    durations without the live :class:`Histogram` objects.
+
+    Observations are assumed non-negative (bucket 0 spans ``(0, buckets[0]]``)
+    — true for the duration/size histograms this registry holds.  Ranks that
+    land in the +inf overflow bucket are clamped to the largest finite bound
+    (a lower bound on the true percentile).
+
+    Args:
+        buckets: Strictly increasing finite upper bounds.
+        counts: Per-bucket counts, one longer than ``buckets`` (+inf last).
+        p: Percentile in [0, 100].
+
+    Raises:
+        ValueError: On a malformed p or a counts/buckets length mismatch.
+    """
+    if not 0.0 <= p <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {p}")
+    if len(counts) != len(buckets) + 1:
+        raise ValueError(
+            f"need {len(buckets) + 1} counts for {len(buckets)} buckets, "
+            f"got {len(counts)}"
+        )
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    rank = p / 100.0 * total
+    cumulative = 0.0
+    for index, count in enumerate(counts):
+        if count == 0:
+            continue
+        if cumulative + count >= rank:
+            if index == len(buckets):  # +inf overflow: clamp to last bound.
+                return float(buckets[-1])
+            lower = 0.0 if index == 0 else float(buckets[index - 1])
+            upper = float(buckets[index])
+            fraction = (rank - cumulative) / count
+            return lower + fraction * (upper - lower)
+        cumulative += count
+    return float(buckets[-1])
 
 
 class MetricsRegistry:

@@ -1,15 +1,23 @@
-"""Machine-readable run reports: spans + metrics + config + seed as JSON.
+"""Machine-readable run reports: spans + metrics + timeline + config as JSON.
 
 The CLI's ``--metrics-out run.json`` lands here: after an experiment runs,
 :func:`write_run_report` serializes everything the observability layer
 collected — span records and per-phase aggregates from
 :mod:`repro.obs.trace`, every counter/gauge/histogram from
-:mod:`repro.obs.metrics`, and the exact experiment configuration + seed —
-so a perf claim ("the cache made fig2 3x faster") is a diff of two files
-rather than a memory.
+:mod:`repro.obs.metrics`, the simulation event timeline from
+:mod:`repro.obs.timeline`, tracemalloc memory peaks (when sampling was on),
+and the exact experiment configuration + seed — so a perf claim ("the cache
+made fig2 3x faster") is a diff of two files rather than a memory.
 
 Schema stability: ``schema`` is bumped on breaking layout changes; tests
-pin the current top-level key set.
+pin the current top-level key set.  Schema history:
+
+* **1** — spans, span_stats, dropped_spans, metrics, config, seed, meta.
+* **2** — adds ``timeline`` (events + ring drop accounting), ``memory``
+  (tracemalloc peaks), and per-span ``mem_peak_kb`` inside ``spans``.
+
+:func:`load_run_report` reads either version, upgrading schema-1 files to
+the schema-2 shape in memory (empty timeline, memory marked unsampled).
 """
 
 from __future__ import annotations
@@ -19,13 +27,35 @@ import json
 import platform
 import sys
 import time
+import tracemalloc
 from typing import Any, Dict, Optional
 
 from repro.obs import metrics as _metrics
+from repro.obs import timeline as _timeline
 from repro.obs import trace as _trace
+from repro.obs.log import get_logger
 
 #: Bumped when the report layout changes incompatibly.
-REPORT_SCHEMA_VERSION = 1
+REPORT_SCHEMA_VERSION = 2
+
+#: Top-level keys every (current-schema) report carries.
+REPORT_KEYS = frozenset(
+    {
+        "schema",
+        "command",
+        "config",
+        "seed",
+        "spans",
+        "span_stats",
+        "dropped_spans",
+        "timeline",
+        "memory",
+        "metrics",
+        "meta",
+    }
+)
+
+_LOG = get_logger(__name__)
 
 
 def _ensure_default_instruments() -> None:
@@ -53,12 +83,33 @@ def _config_dict(config: Any) -> Optional[Dict[str, Any]]:
     return {"repr": repr(config)}
 
 
+def _memory_section() -> Dict[str, Any]:
+    """Tracemalloc accounting: process-level + per-span peak summary."""
+    summary = _trace.TRACER.memory_summary()
+    section: Dict[str, Any] = {
+        "tracemalloc": tracemalloc.is_tracing(),
+        "sampled_spans": int(summary["sampled_spans"] or 0),
+        "span_peak_kb": summary["peak_kb"],
+    }
+    if tracemalloc.is_tracing():
+        current_b, peak_b = tracemalloc.get_traced_memory()
+        section["current_kb"] = current_b / 1024.0
+        section["peak_kb"] = peak_b / 1024.0
+    else:
+        section["current_kb"] = None
+        section["peak_kb"] = None
+    return section
+
+
 def collect_run_report(
     command: Optional[str] = None,
     config: Any = None,
     extra: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Assemble the full run report as a JSON-ready dict.
+
+    Logs a one-line warning when the span recorder or the timeline ring
+    dropped records, so a capped trace is never mistaken for a complete one.
 
     Args:
         command: The CLI subcommand / experiment name, if any.
@@ -72,6 +123,16 @@ def collect_run_report(
     if config_dict and "seed" in config_dict:
         seed = config_dict["seed"]
     trace_snapshot = _trace.TRACER.snapshot()
+    timeline_snapshot = _timeline.TIMELINE.snapshot()
+    dropped_spans = trace_snapshot["dropped_records"]
+    dropped_events = timeline_snapshot["dropped"]
+    if dropped_spans or dropped_events:
+        _LOG.warning(
+            "trace truncated: %d span records and %d timeline events were "
+            "dropped at their ring caps — raise Tracer.max_records / "
+            "Timeline.capacity for a complete record (aggregates are exact)",
+            dropped_spans, dropped_events,
+        )
     report: Dict[str, Any] = {
         "schema": REPORT_SCHEMA_VERSION,
         "command": command,
@@ -79,7 +140,9 @@ def collect_run_report(
         "seed": seed,
         "spans": trace_snapshot["records"],
         "span_stats": trace_snapshot["stats"],
-        "dropped_spans": trace_snapshot["dropped_records"],
+        "dropped_spans": dropped_spans,
+        "timeline": timeline_snapshot,
+        "memory": _memory_section(),
         "metrics": _metrics.snapshot(),
         "meta": {
             "python": sys.version.split()[0],
@@ -104,3 +167,78 @@ def write_run_report(
         json.dump(report, handle, indent=2, sort_keys=False)
         handle.write("\n")
     return report
+
+
+def upgrade_report(report: Dict[str, Any]) -> Dict[str, Any]:
+    """Normalize a loaded report to the schema-2 shape (back-compat reader).
+
+    Schema-1 reports gain an empty ``timeline`` and an unsampled ``memory``
+    section; the original version is preserved under ``schema_original``.
+
+    Raises:
+        ValueError: On an unrecognized schema version.
+    """
+    schema = report.get("schema")
+    if schema == REPORT_SCHEMA_VERSION:
+        return report
+    if schema != 1:
+        raise ValueError(
+            f"unsupported run-report schema {schema!r} "
+            f"(supported: 1, {REPORT_SCHEMA_VERSION})"
+        )
+    upgraded = dict(report)
+    upgraded["schema"] = REPORT_SCHEMA_VERSION
+    upgraded["schema_original"] = 1
+    upgraded.setdefault(
+        "timeline",
+        {
+            "events": [],
+            "capacity": 0,
+            "dropped": 0,
+            "total_emitted": 0,
+            "counts_by_kind": {},
+        },
+    )
+    upgraded.setdefault(
+        "memory",
+        {
+            "tracemalloc": False,
+            "sampled_spans": 0,
+            "span_peak_kb": None,
+            "current_kb": None,
+            "peak_kb": None,
+        },
+    )
+    return upgraded
+
+
+def load_run_report(path: str) -> Dict[str, Any]:
+    """Read a run report (any supported schema), upgraded to the current one."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return upgrade_report(json.load(handle))
+
+
+def validate_run_report(report: Dict[str, Any]) -> None:
+    """Raise ValueError unless ``report`` has the current schema layout.
+
+    Used by tests and the CI ``bench-smoke`` job to validate ``--metrics-out``
+    files.  Run the dict through :func:`upgrade_report` first to accept
+    older schemas.
+    """
+    missing = REPORT_KEYS - set(report)
+    if missing:
+        raise ValueError(f"run report missing keys: {sorted(missing)}")
+    if report["schema"] != REPORT_SCHEMA_VERSION:
+        raise ValueError(
+            f"run report schema {report['schema']!r} != {REPORT_SCHEMA_VERSION}"
+        )
+    if not isinstance(report["spans"], list):
+        raise ValueError("'spans' must be a list")
+    timeline = report["timeline"]
+    for key in ("events", "dropped", "capacity"):
+        if key not in timeline:
+            raise ValueError(f"'timeline' missing {key!r}")
+    metrics = report["metrics"]
+    for key in ("counters", "gauges", "histograms"):
+        if key not in metrics:
+            raise ValueError(f"'metrics' missing {key!r}")

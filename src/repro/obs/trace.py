@@ -1,4 +1,4 @@
-"""Nestable span/phase timers and an optional cProfile hook.
+"""Nestable span/phase timers, memory sampling, and an optional cProfile hook.
 
 A *span* is a named wall-clock interval::
 
@@ -13,6 +13,18 @@ recorded with its duration and parent, and per-name aggregate stats
 is capped.  :func:`timed` wraps a function in a span; :func:`profile` dumps
 a cProfile ``.pstats`` file around any block (the CLI's ``--profile``).
 
+Two optional extras on top of the timers:
+
+* **Memory sampling** — when :mod:`tracemalloc` is tracing (the CLI's
+  ``--track-memory``), every span records its *peak traced allocation* in
+  KiB (``SpanRecord.mem_peak_kb``).  Peaks propagate correctly through
+  nesting: an inner span's peak also counts toward its enclosing spans.
+* **Duration histograms** — the process-global :data:`TRACER` additionally
+  feeds each span's duration into a ``trace.span_seconds.<name>`` histogram
+  on the default metrics registry, so run reports and benchmark records
+  carry full duration *distributions* (p50/p95/p99 in ``bench-compare``),
+  not just min/max.
+
 Everything is stdlib-only and cheap enough for per-chunk instrumentation:
 one ``perf_counter`` pair plus a couple of dict operations per span.
 """
@@ -22,13 +34,19 @@ from __future__ import annotations
 import cProfile
 import threading
 import time
+import tracemalloc
 from contextlib import contextmanager
 from dataclasses import dataclass
 from functools import wraps
 from typing import Callable, Dict, Iterator, List, Optional
 
+from repro.obs import metrics as _metrics
+
 #: Raw span records kept per tracer; aggregates keep counting past the cap.
 MAX_RECORDS = 2000
+
+#: Metrics-registry prefix for per-span-name duration histograms.
+SPAN_SECONDS_PREFIX = "trace.span_seconds."
 
 
 @dataclass(frozen=True)
@@ -40,44 +58,95 @@ class SpanRecord:
     duration_s: float
     depth: int  # 0 = top level.
     parent: Optional[str]  # Name of the enclosing span, if any.
+    mem_peak_kb: Optional[float] = None  # Peak traced KiB while the span ran.
+
+
+class _Frame:
+    """One active span on the thread-local stack."""
+
+    __slots__ = ("name", "mem_peak_b")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.mem_peak_b = 0  # Peak bytes observed so far inside this span.
 
 
 class Tracer:
-    """Collects span records and per-name aggregate timings."""
+    """Collects span records and per-name aggregate timings.
 
-    def __init__(self, max_records: int = MAX_RECORDS) -> None:
+    Args:
+        max_records: Cap on raw :class:`SpanRecord` retention.
+        observe_durations: When True, every finished span's duration is also
+            observed into a ``trace.span_seconds.<name>`` histogram on the
+            default metrics registry (enabled on the global :data:`TRACER`).
+    """
+
+    def __init__(
+        self, max_records: int = MAX_RECORDS, observe_durations: bool = False
+    ) -> None:
         self.max_records = max_records
+        self.observe_durations = observe_durations
         self._lock = threading.Lock()
         self._local = threading.local()
         self._epoch = time.perf_counter()
         self.records: List[SpanRecord] = []
         self.dropped_records = 0
         self._stats: Dict[str, Dict[str, float]] = {}
+        self._duration_histograms: Dict[str, "_metrics.Histogram"] = {}
 
-    def _stack(self) -> List[str]:
+    def _stack(self) -> List[_Frame]:
         if not hasattr(self._local, "stack"):
             self._local.stack = []
         return self._local.stack
 
+    def _duration_histogram(self, name: str) -> "_metrics.Histogram":
+        histogram = self._duration_histograms.get(name)
+        if histogram is None:
+            histogram = _metrics.histogram(SPAN_SECONDS_PREFIX + name)
+            self._duration_histograms[name] = histogram
+        return histogram
+
     @contextmanager
     def span(self, name: str) -> Iterator[None]:
-        """Time a named block; nests under any enclosing span."""
+        """Time a named block; nests under any enclosing span.
+
+        When :mod:`tracemalloc` is tracing, the span's peak traced memory is
+        recorded too.  The peak accounting uses ``tracemalloc.reset_peak``
+        at span boundaries and folds each finished span's peak back into its
+        parent frame, so nesting never under-reports an enclosing span.
+        """
         stack = self._stack()
-        parent = stack[-1] if stack else None
+        parent = stack[-1].name if stack else None
         depth = len(stack)
-        stack.append(name)
+        tracing = tracemalloc.is_tracing()
+        if tracing:
+            if stack:
+                # Bank the parent's peak-so-far before the child resets it.
+                peak_b = tracemalloc.get_traced_memory()[1]
+                stack[-1].mem_peak_b = max(stack[-1].mem_peak_b, peak_b)
+            tracemalloc.reset_peak()
+        frame = _Frame(name)
+        stack.append(frame)
         start = time.perf_counter()
         try:
             yield
         finally:
             duration = time.perf_counter() - start
             stack.pop()
+            mem_peak_kb: Optional[float] = None
+            if tracing and tracemalloc.is_tracing():
+                peak_b = max(frame.mem_peak_b, tracemalloc.get_traced_memory()[1])
+                mem_peak_kb = peak_b / 1024.0
+                if stack:
+                    stack[-1].mem_peak_b = max(stack[-1].mem_peak_b, peak_b)
+                tracemalloc.reset_peak()
             record = SpanRecord(
                 name=name,
                 start_s=start - self._epoch,
                 duration_s=duration,
                 depth=depth,
                 parent=parent,
+                mem_peak_kb=mem_peak_kb,
             )
             with self._lock:
                 if len(self.records) < self.max_records:
@@ -97,6 +166,8 @@ class Tracer:
                     stats["total_s"] += duration
                     stats["min_s"] = min(stats["min_s"], duration)
                     stats["max_s"] = max(stats["max_s"], duration)
+                if self.observe_durations:
+                    self._duration_histogram(name).observe(duration)
 
     def timed(self, name: Optional[str] = None) -> Callable:
         """Decorator: run the function inside a span (default: its qualname)."""
@@ -118,6 +189,19 @@ class Tracer:
         with self._lock:
             return {name: dict(value) for name, value in sorted(self._stats.items())}
 
+    def memory_summary(self) -> Dict[str, Optional[float]]:
+        """Peak traced memory over recorded spans (None when not sampled)."""
+        with self._lock:
+            peaks = [
+                record.mem_peak_kb
+                for record in self.records
+                if record.mem_peak_kb is not None
+            ]
+        return {
+            "sampled_spans": float(len(peaks)),
+            "peak_kb": max(peaks) if peaks else None,
+        }
+
     def snapshot(self) -> Dict:
         """JSON-ready view: raw records (capped) plus per-name aggregates."""
         with self._lock:
@@ -129,6 +213,11 @@ class Tracer:
                         "duration_s": record.duration_s,
                         "depth": record.depth,
                         "parent": record.parent,
+                        **(
+                            {"mem_peak_kb": record.mem_peak_kb}
+                            if record.mem_peak_kb is not None
+                            else {}
+                        ),
                     }
                     for record in self.records
                 ],
@@ -148,7 +237,7 @@ class Tracer:
 
 
 #: The process-global tracer every instrumented module shares.
-TRACER = Tracer()
+TRACER = Tracer(observe_durations=True)
 
 
 def span(name: str):
@@ -169,6 +258,25 @@ def stats() -> Dict[str, Dict[str, float]]:
 def reset() -> None:
     """Reset the default tracer."""
     TRACER.reset()
+
+
+@contextmanager
+def track_memory(enabled: bool = True) -> Iterator[None]:
+    """Enable tracemalloc around a block (the CLI's ``--track-memory``).
+
+    While active, every span records its peak traced allocation.  A falsy
+    ``enabled`` makes this a no-op so callers can pass a CLI flag straight
+    through.  If tracemalloc was already tracing (e.g. started by the
+    environment via ``PYTHONTRACEMALLOC``), it is left running on exit.
+    """
+    if not enabled or tracemalloc.is_tracing():
+        yield
+        return
+    tracemalloc.start()
+    try:
+        yield
+    finally:
+        tracemalloc.stop()
 
 
 @contextmanager

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.constellation.satellite import Constellation
 from repro.ground.sites import GroundSite
+from repro.obs import timeline as obs_timeline
 from repro.sim.clock import TimeGrid
 from repro.sim.events import ContactEvent, intervals_from_mask
 from repro.sim.visibility import VisibilityEngine
@@ -34,6 +35,11 @@ def contact_events(
         site_names: S site names.
         sat_ids: N satellite ids.
         grid: The tensor's time grid.
+
+    Each extracted window is also narrated onto the shared simulation
+    timeline (:mod:`repro.obs.timeline`) as a ``contact.begin`` /
+    ``contact.end`` pair on the satellite's track, so a ``--trace-out``
+    export shows every pass as a slice in the viewer.
 
     Returns:
         Contacts sorted by (start time, site, satellite).
@@ -59,6 +65,20 @@ def contact_events(
             ):
                 events.append(ContactEvent(site_name, sat_id, start_s, stop_s))
     events.sort(key=lambda event: (event.start_s, event.site_name, event.sat_id))
+    for event in events:
+        obs_timeline.emit(
+            obs_timeline.CONTACT_BEGIN,
+            event.start_s,
+            event.sat_id,
+            site=event.site_name,
+            duration_hint_s=event.duration_s,
+        )
+        obs_timeline.emit(
+            obs_timeline.CONTACT_END,
+            event.stop_s,
+            event.sat_id,
+            site=event.site_name,
+        )
     return events
 
 

@@ -33,6 +33,7 @@ from repro.constants import BOLTZMANN_DBW, SPEED_OF_LIGHT
 from repro.constellation.satellite import Constellation
 from repro.ground.sites import GroundStation, UserTerminal
 from repro.obs import get_logger, metrics
+from repro.obs import timeline as obs_timeline
 from repro.obs.trace import span
 from repro.links.bentpipe import BentPipeLink, RelayMode
 from repro.links.channel import achievable_rates_bps_array
@@ -342,6 +343,11 @@ class BentPipeSimulator:
             assignment, served, terminal_parties, sat_parties
         )
         self._record_run_metrics(assignment, demand, sat_load, capacity, sessions)
+        with span("engine.timeline"):
+            self._emit_timeline_events(
+                assignment, demand, sat_load, capacity, sessions,
+                terminal_parties, sat_parties,
+            )
         return SimulationResult(
             grid=self.grid,
             sessions=sessions,
@@ -351,6 +357,86 @@ class BentPipeSimulator:
             terminal_names=[terminal.name for terminal in self.terminals],
             sat_ids=[satellite.sat_id for satellite in self.constellation],
         )
+
+    def _emit_timeline_events(
+        self,
+        assignment: np.ndarray,
+        demand: np.ndarray,
+        sat_load: np.ndarray,
+        capacity: np.ndarray,
+        sessions: Sequence[SessionEvent],
+        terminal_parties: Sequence[str],
+        sat_parties: Sequence[str],
+    ) -> None:
+        """Narrate one engine run onto the shared simulation timeline.
+
+        Emitted kinds (see :mod:`repro.obs.timeline`):
+
+        * ``allocation.grant`` — one windowed event per session, on the
+          serving satellite's track.
+        * ``allocation.deny`` — windowed, per contiguous interval in which a
+          terminal demanded capacity but no satellite could serve it.
+        * ``handover`` — instant, when a terminal switches satellites at
+          consecutive steps.
+        * ``capacity.saturated`` — windowed, per interval a satellite ran at
+          its full nominal capacity.
+        """
+        grid = self.grid
+        step_s = grid.step_s
+        times = grid.times_s
+        for session in sessions:
+            obs_timeline.emit(
+                obs_timeline.ALLOC_GRANT,
+                session.start_s,
+                session.sat_id,
+                party=session.sat_party,
+                duration_s=session.duration_s,
+                terminal=session.terminal_name,
+                terminal_party=session.terminal_party,
+                rate_mbps=session.rate_mbps,
+                spare=session.is_spare_capacity,
+            )
+        unserved = (demand > 0.0) & (assignment < 0)
+        for terminal_index, terminal in enumerate(self.terminals):
+            mask = unserved[terminal_index]
+            if not mask.any():
+                continue
+            for start_s, stop_s in intervals_from_mask(mask, step_s, grid.start_s):
+                obs_timeline.emit(
+                    obs_timeline.ALLOC_DENY,
+                    start_s,
+                    terminal.name,
+                    party=terminal_parties[terminal_index],
+                    duration_s=stop_s - start_s,
+                )
+        before, after = assignment[:, :-1], assignment[:, 1:]
+        switches = (before >= 0) & (after >= 0) & (before != after)
+        for terminal_index, step in zip(*np.nonzero(switches)):
+            obs_timeline.emit(
+                obs_timeline.HANDOVER,
+                float(times[step + 1]),
+                self.terminals[terminal_index].name,
+                party=terminal_parties[terminal_index],
+                from_sat=self.constellation[int(before[terminal_index, step])].sat_id,
+                to_sat=self.constellation[int(after[terminal_index, step])].sat_id,
+            )
+        # Full-capacity intervals per satellite (float-tolerant equality).
+        saturated = (capacity[:, None] > 0.0) & (
+            sat_load >= capacity[:, None] * (1.0 - 1e-9)
+        )
+        for sat_index in np.flatnonzero(saturated.any(axis=1)):
+            satellite = self.constellation[int(sat_index)]
+            for start_s, stop_s in intervals_from_mask(
+                saturated[sat_index], step_s, grid.start_s
+            ):
+                obs_timeline.emit(
+                    obs_timeline.CAPACITY_SATURATED,
+                    start_s,
+                    satellite.sat_id,
+                    party=sat_parties[int(sat_index)],
+                    duration_s=stop_s - start_s,
+                    capacity_mbps=float(capacity[sat_index]),
+                )
 
     @staticmethod
     def _record_run_metrics(

@@ -20,7 +20,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs import timeline as obs_timeline
 from repro.sim.clock import TimeGrid
+from repro.sim.events import intervals_from_mask
 
 
 class SchedulingPolicy(enum.Enum):
@@ -150,6 +152,7 @@ class DownlinkScheduler:
                 claimed[chosen] = True
                 assignment[station, step] = chosen
 
+        self._emit_timeline_events(assignment)
         generated = self.generation_rate_mbps * self.grid.duration_s
         return DownlinkScheduleResult(
             grid=self.grid,
@@ -159,6 +162,46 @@ class DownlinkScheduler:
             station_busy_fraction=(assignment >= 0).mean(axis=1),
             assignment=assignment,
         )
+
+
+    def _emit_timeline_events(self, assignment: np.ndarray) -> None:
+        """Narrate the antenna schedule onto the shared simulation timeline.
+
+        One windowed ``allocation.grant`` per contiguous (station, satellite)
+        serving interval, plus an instant ``handover`` whenever a station
+        retargets between consecutive steps.  Stations are indexed (the
+        scheduler sees only visibility rows), so tracks are labeled
+        ``station-<index>``.
+        """
+        step_s = self.grid.step_s
+        times = self.grid.times_s
+        for station_index in range(assignment.shape[0]):
+            row = assignment[station_index]
+            station = f"station-{station_index}"
+            for sat_index in np.unique(row[row >= 0]):
+                mask = row == sat_index
+                for start_s, stop_s in intervals_from_mask(
+                    mask, step_s, self.grid.start_s
+                ):
+                    obs_timeline.emit(
+                        obs_timeline.ALLOC_GRANT,
+                        start_s,
+                        station,
+                        duration_s=stop_s - start_s,
+                        satellite=int(sat_index),
+                        policy=self.policy.value,
+                    )
+            before, after = row[:-1], row[1:]
+            for step in np.flatnonzero(
+                (before >= 0) & (after >= 0) & (before != after)
+            ):
+                obs_timeline.emit(
+                    obs_timeline.HANDOVER,
+                    float(times[step + 1]),
+                    station,
+                    from_sat=int(before[step]),
+                    to_sat=int(after[step]),
+                )
 
 
 def compare_policies(

@@ -5,9 +5,11 @@ import pytest
 
 from repro.analysis.gaps import (
     GapDistribution,
+    gap_timeline_events,
     pooled_gap_distribution,
     survival_curve,
 )
+from repro.obs import timeline as obs_timeline
 
 
 class TestGapDistribution:
@@ -46,6 +48,88 @@ class TestGapDistribution:
     def test_pooled_rejects_empty(self):
         with pytest.raises(ValueError, match="at least one"):
             pooled_gap_distribution([], 60.0)
+
+
+class TestGapTimelineEvents:
+    """Hand-computed timelines: every edge case gets explicit flags."""
+
+    def test_interior_gap(self):
+        # Covered, 2 uncovered steps, covered: one gap [60, 180).
+        mask = np.array([True, False, False, True])
+        events = gap_timeline_events(mask, 60.0, site="taipei", emit=False)
+        assert [event.kind for event in events] == ["gap.open", "gap.close"]
+        open_event, close_event = events
+        assert open_event.t_s == 60.0
+        assert close_event.t_s == 180.0
+        assert open_event.attrs["gap_s"] == pytest.approx(120.0)
+        assert "at_run_start" not in open_event.attrs
+        assert "at_run_end" not in close_event.attrs
+
+    def test_run_start_gap_flagged(self):
+        mask = np.array([False, False, True, True])
+        events = gap_timeline_events(mask, 60.0, site="taipei", emit=False)
+        assert events[0].t_s == 0.0
+        assert events[0].attrs["at_run_start"] is True
+        assert "at_run_end" not in events[1].attrs
+
+    def test_run_end_gap_flagged(self):
+        mask = np.array([True, True, False])
+        events = gap_timeline_events(mask, 60.0, site="taipei", emit=False)
+        assert events[1].t_s == pytest.approx(180.0)
+        assert events[1].attrs["at_run_end"] is True
+        assert "at_run_start" not in events[0].attrs
+
+    def test_never_covered_carries_both_flags(self):
+        """Zero-length contact: the site never sees a satellite at all."""
+        events = gap_timeline_events(
+            np.zeros(4, dtype=bool), 30.0, site="taipei", emit=False
+        )
+        assert len(events) == 2
+        assert events[0].attrs["at_run_start"] is True
+        assert events[1].attrs["at_run_end"] is True
+        assert events[0].attrs["gap_s"] == pytest.approx(120.0)
+
+    def test_fully_covered_emits_nothing(self):
+        events = gap_timeline_events(
+            np.ones(5, dtype=bool), 60.0, site="taipei", emit=False
+        )
+        assert events == []
+
+    def test_single_step_contact_splits_gap(self):
+        # One covered sample in the middle: two gaps around it.
+        mask = np.array([False, True, False])
+        events = gap_timeline_events(mask, 60.0, site="taipei", emit=False)
+        assert [event.kind for event in events] == [
+            "gap.open", "gap.close", "gap.open", "gap.close",
+        ]
+        assert events[1].t_s == 60.0  # First gap closes as the contact rises.
+        assert events[2].t_s == 120.0  # Second opens as it sets.
+
+    def test_start_offset_shifts_times(self):
+        mask = np.array([False, True])
+        events = gap_timeline_events(
+            mask, 60.0, site="taipei", start_s=1000.0, emit=False
+        )
+        assert events[0].t_s == 1000.0
+        assert events[0].attrs["at_run_start"] is True
+
+    def test_emit_records_on_global_timeline(self):
+        obs_timeline.reset()
+        try:
+            gap_timeline_events(
+                np.array([True, False, True]), 60.0, site="taipei"
+            )
+            recorded = obs_timeline.events(kind=obs_timeline.GAP_OPEN)
+            assert len(recorded) == 1
+            assert recorded[0].subject == "taipei"
+        finally:
+            obs_timeline.reset()
+
+    def test_rejects_2d_mask(self):
+        with pytest.raises(ValueError, match="1-D"):
+            gap_timeline_events(
+                np.zeros((2, 2), dtype=bool), 60.0, site="x", emit=False
+            )
 
 
 class TestSurvivalCurve:

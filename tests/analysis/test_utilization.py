@@ -1,9 +1,19 @@
-"""Tests for idle-time distribution analytics."""
+"""Tests for idle-time distribution and utilization-timeline analytics."""
 
 import numpy as np
 import pytest
 
-from repro.analysis.utilization import IdleTimeSummary, idle_reduction_series
+from repro.analysis.utilization import (
+    IdleTimeSummary,
+    UtilizationTimeline,
+    idle_reduction_series,
+    party_utilization,
+    satellite_utilization,
+    utilization_from_events,
+)
+from repro.obs import timeline as obs_timeline
+from repro.obs.timeline import TimelineEvent
+from repro.sim.clock import TimeGrid
 
 
 class TestIdleTimeSummary:
@@ -36,3 +46,137 @@ class TestIdleReduction:
     def test_rejects_short(self):
         with pytest.raises(ValueError, match="two points"):
             idle_reduction_series([0.99])
+
+
+GRID = TimeGrid(duration_s=400.0, step_s=100.0)  # Samples at 0/100/200/300 s.
+
+
+class TestUtilizationTimeline:
+    def _timeline(self) -> UtilizationTimeline:
+        return UtilizationTimeline(
+            labels=["sat-a", "sat-b"],
+            times_s=GRID.times_s,
+            utilization=np.array(
+                [[0.0, 0.5, 1.0, 0.5], [0.25, 0.25, 0.25, 0.25]]
+            ),
+        )
+
+    def test_series_lookup(self):
+        assert np.allclose(
+            self._timeline().series("sat-a"), [0.0, 0.5, 1.0, 0.5]
+        )
+
+    def test_unknown_label_raises_keyerror(self):
+        with pytest.raises(KeyError, match="sat-z"):
+            self._timeline().series("sat-z")
+
+    def test_mean_and_peak(self):
+        timeline = self._timeline()
+        assert timeline.mean_by_label() == {"sat-a": 0.5, "sat-b": 0.25}
+        assert timeline.peak_by_label() == {"sat-a": 1.0, "sat-b": 0.25}
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            UtilizationTimeline(
+                labels=["a"], times_s=GRID.times_s, utilization=np.zeros((2, 4))
+            )
+
+
+class TestSatelliteUtilization:
+    def test_hand_computed(self):
+        load = np.array([[0.0, 50.0, 100.0, 50.0], [10.0, 10.0, 10.0, 10.0]])
+        result = satellite_utilization(
+            load, [100.0, 40.0], GRID, ["sat-a", "sat-b"]
+        )
+        assert np.allclose(result.series("sat-a"), [0.0, 0.5, 1.0, 0.5])
+        assert np.allclose(result.series("sat-b"), [0.25, 0.25, 0.25, 0.25])
+
+    def test_zero_capacity_reports_zero(self):
+        result = satellite_utilization(
+            np.array([[5.0, 5.0, 5.0, 5.0]]), [0.0], GRID, ["dead"]
+        )
+        assert np.allclose(result.series("dead"), 0.0)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="load"):
+            satellite_utilization(np.zeros((2, 3)), [1.0, 1.0], GRID, ["a", "b"])
+        with pytest.raises(ValueError, match="sat ids"):
+            satellite_utilization(np.zeros((2, 4)), [1.0, 1.0], GRID, ["a"])
+
+
+class TestPartyUtilization:
+    def test_pools_by_party(self):
+        # Party tw owns two 100-Mbps satellites, party jp one 50-Mbps one.
+        load = np.array(
+            [
+                [100.0, 0.0, 0.0, 0.0],
+                [100.0, 100.0, 0.0, 0.0],
+                [25.0, 25.0, 25.0, 25.0],
+            ]
+        )
+        result = party_utilization(
+            load, [100.0, 100.0, 50.0], GRID, ["tw", "tw", "jp"]
+        )
+        assert result.labels == ["jp", "tw"]
+        assert np.allclose(result.series("tw"), [1.0, 0.5, 0.0, 0.0])
+        assert np.allclose(result.series("jp"), [0.5, 0.5, 0.5, 0.5])
+
+    def test_partyless_capacity_reports_zero(self):
+        result = party_utilization(
+            np.array([[10.0, 10.0, 10.0, 10.0]]), [0.0], GRID, ["ghost"]
+        )
+        assert np.allclose(result.series("ghost"), 0.0)
+
+
+class TestUtilizationFromEvents:
+    def test_grant_windows_become_busy_samples(self):
+        events = [
+            TimelineEvent(
+                t_s=0.0, kind="allocation.grant", subject="sat-a",
+                party="tw", duration_s=200.0,
+            ),
+            TimelineEvent(
+                t_s=300.0, kind="allocation.grant", subject="sat-b",
+                party="jp", duration_s=100.0,
+            ),
+        ]
+        result = utilization_from_events(GRID, events)
+        assert result.labels == ["sat-a", "sat-b"]
+        assert np.allclose(result.series("sat-a"), [1.0, 1.0, 0.0, 0.0])
+        assert np.allclose(result.series("sat-b"), [0.0, 0.0, 0.0, 1.0])
+
+    def test_group_by_party(self):
+        events = [
+            TimelineEvent(
+                t_s=0.0, kind="allocation.grant", subject="sat-a",
+                party="tw", duration_s=100.0,
+            ),
+            TimelineEvent(
+                t_s=200.0, kind="allocation.grant", subject="sat-b",
+                party="tw", duration_s=100.0,
+            ),
+        ]
+        result = utilization_from_events(GRID, events, by="party")
+        assert result.labels == ["tw"]
+        assert np.allclose(result.series("tw"), [1.0, 0.0, 1.0, 0.0])
+
+    def test_defaults_to_global_timeline(self):
+        obs_timeline.reset()
+        try:
+            obs_timeline.emit(
+                obs_timeline.ALLOC_GRANT, 100.0, "sat-g", duration_s=100.0
+            )
+            result = utilization_from_events(GRID)
+            assert result.labels == ["sat-g"]
+            assert np.allclose(result.series("sat-g"), [0.0, 1.0, 0.0, 0.0])
+        finally:
+            obs_timeline.reset()
+
+    def test_no_events_yields_empty(self):
+        result = utilization_from_events(GRID, [])
+        assert result.labels == []
+        assert result.utilization.shape == (0, GRID.count)
+
+    def test_rejects_unknown_by(self):
+        with pytest.raises(ValueError, match="subject"):
+            utilization_from_events(GRID, [], by="satellite")

@@ -1,0 +1,212 @@
+"""Tests for the benchmark comparison tool (the perf-regression gate)."""
+
+import json
+
+import pytest
+
+from repro.obs.bench import (
+    Delta,
+    compare_benchmarks,
+    comparison_summary,
+    load_bench,
+    render_comparison,
+    run_bench_compare,
+    span_duration_percentiles,
+)
+
+
+def _record(figures, schema=2, span_stats=None, histograms=None):
+    return {
+        "schema": schema,
+        "config": {"runs": 20, "step_s": 120.0, "seed": 2024},
+        "exit_status": 0,
+        "figures": {name: {"wall_s": wall} for name, wall in figures.items()},
+        "span_stats": span_stats or {},
+        "metrics": {
+            "counters": {}, "gauges": {}, "histograms": histograms or {},
+        },
+        "meta": {},
+    }
+
+
+def _write(tmp_path, name, record):
+    path = tmp_path / name
+    path.write_text(json.dumps(record))
+    return str(path)
+
+
+class TestLoadBench:
+    def test_loads_both_schemas(self, tmp_path):
+        for schema in (1, 2):
+            path = _write(
+                tmp_path, f"b{schema}.json",
+                _record({"fig2": 1.0}, schema=schema),
+            )
+            assert load_bench(path)["schema"] == schema
+
+    def test_rejects_unknown_schema(self, tmp_path):
+        path = _write(tmp_path, "bad.json", _record({"fig2": 1.0}, schema=7))
+        with pytest.raises(ValueError, match="unsupported bench schema"):
+            load_bench(path)
+
+    def test_rejects_figureless_record(self, tmp_path):
+        path = _write(tmp_path, "empty.json", _record({}))
+        with pytest.raises(ValueError, match="no figures"):
+            load_bench(path)
+
+
+class TestDelta:
+    def test_ratio(self):
+        assert Delta("x", 2.0, 3.0).ratio == pytest.approx(1.5)
+
+    def test_zero_base_zero_new(self):
+        assert Delta("x", 0.0, 0.0).ratio == 1.0
+
+    def test_zero_base_nonzero_new(self):
+        assert Delta("x", 0.0, 1.0).ratio == float("inf")
+
+
+class TestCompare:
+    def test_no_regression_under_threshold(self):
+        result = compare_benchmarks(
+            _record({"fig2": 1.0, "fig3": 2.0}),
+            _record({"fig2": 1.1, "fig3": 2.1}),
+        )
+        assert not result.regressed
+        assert result.exit_code() == 0
+
+    def test_synthetic_2x_slowdown_regresses(self):
+        """The acceptance fixture: a 2x slowdown must trip the gate."""
+        result = compare_benchmarks(
+            _record({"fig2": 1.0}), _record({"fig2": 2.0})
+        )
+        assert result.regressed
+        assert [delta.name for delta in result.regressions] == ["fig2"]
+        assert result.exit_code() == 1
+        assert result.exit_code(report_only=True) == 0
+
+    def test_noise_floor_suppresses_fast_figures(self):
+        # 2 ms -> 8 ms is a 4x ratio but below the 10 ms floor: not flagged.
+        result = compare_benchmarks(
+            _record({"micro": 0.002}), _record({"micro": 0.008})
+        )
+        assert not result.regressed
+
+    def test_disjoint_figures_reported(self):
+        result = compare_benchmarks(
+            _record({"fig2": 1.0, "old": 1.0}),
+            _record({"fig2": 1.0, "new": 1.0}),
+        )
+        assert result.only_in_base == ["old"]
+        assert result.only_in_new == ["new"]
+
+    def test_span_totals_compared(self):
+        result = compare_benchmarks(
+            _record({"fig2": 1.0}, span_stats={"visibility.build": {
+                "count": 1, "total_s": 3.0, "min_s": 3.0, "max_s": 3.0}}),
+            _record({"fig2": 1.0}, span_stats={"visibility.build": {
+                "count": 1, "total_s": 4.5, "min_s": 4.5, "max_s": 4.5}}),
+        )
+        assert len(result.spans) == 1
+        assert result.spans[0].ratio == pytest.approx(1.5)
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError, match="positive"):
+            compare_benchmarks(
+                _record({"fig2": 1.0}), _record({"fig2": 1.0}), threshold=0.0
+            )
+
+
+class TestPercentiles:
+    def test_extracted_from_span_histograms(self):
+        record = _record(
+            {"fig2": 1.0},
+            histograms={
+                "trace.span_seconds.visibility.build": {
+                    "buckets": [1.0, 2.0, 4.0],
+                    "counts": [0, 10, 0, 0],
+                    "sum": 15.0,
+                    "count": 10,
+                },
+                "unrelated.histogram": {
+                    "buckets": [1.0], "counts": [5, 0], "sum": 1.0, "count": 5,
+                },
+            },
+        )
+        percentiles = span_duration_percentiles(record)
+        assert set(percentiles) == {"visibility.build"}
+        assert percentiles["visibility.build"]["p50"] == pytest.approx(1.5)
+        assert percentiles["visibility.build"]["p99"] <= 2.0
+
+    def test_in_comparison_and_rendering(self):
+        new = _record(
+            {"fig2": 1.0},
+            histograms={
+                "trace.span_seconds.analysis.fig2": {
+                    "buckets": [1.0], "counts": [4, 0], "sum": 2.0, "count": 4,
+                }
+            },
+        )
+        result = compare_benchmarks(_record({"fig2": 1.0}), new)
+        assert "analysis.fig2" in result.percentiles
+        rendered = render_comparison(result)
+        assert "p95_s" in rendered
+
+
+class TestRendering:
+    def test_regression_flagged_in_table(self):
+        result = compare_benchmarks(
+            _record({"fig2": 1.0}), _record({"fig2": 3.0})
+        )
+        rendered = render_comparison(result)
+        assert "REGRESSION" in rendered
+        assert "FAIL" in rendered
+
+    def test_clean_run_says_ok(self):
+        result = compare_benchmarks(
+            _record({"fig2": 1.0}), _record({"fig2": 1.0})
+        )
+        rendered = render_comparison(result)
+        assert "OK" in rendered
+        assert "REGRESSION" not in rendered
+
+    def test_summary_line(self):
+        result = compare_benchmarks(
+            _record({"fig2": 1.0}), _record({"fig2": 2.0})
+        )
+        summary = comparison_summary(result)
+        assert "1 regressed" in summary
+        assert "fig2" in summary
+
+
+class TestRunBenchCompare:
+    def test_exit_zero_under_threshold(self, tmp_path):
+        base = _write(tmp_path, "base.json", _record({"fig2": 1.0}))
+        new = _write(tmp_path, "new.json", _record({"fig2": 1.1}))
+        lines = []
+        assert run_bench_compare(base, new, print_fn=lines.append) == 0
+        assert any("OK" in line for line in lines)
+
+    def test_exit_nonzero_on_slowdown(self, tmp_path):
+        base = _write(tmp_path, "base.json", _record({"fig2": 1.0}))
+        new = _write(tmp_path, "new.json", _record({"fig2": 2.0}))
+        lines = []
+        assert run_bench_compare(base, new, print_fn=lines.append) == 1
+        assert any("FAIL" in line for line in lines)
+
+    def test_report_only_exits_zero(self, tmp_path):
+        base = _write(tmp_path, "base.json", _record({"fig2": 1.0}))
+        new = _write(tmp_path, "new.json", _record({"fig2": 2.0}))
+        lines = []
+        assert run_bench_compare(
+            base, new, report_only=True, print_fn=lines.append
+        ) == 0
+        assert any("report-only" in line for line in lines)
+
+    def test_custom_threshold(self, tmp_path):
+        base = _write(tmp_path, "base.json", _record({"fig2": 1.0}))
+        new = _write(tmp_path, "new.json", _record({"fig2": 1.4}))
+        assert run_bench_compare(base, new, print_fn=lambda _: None) == 1
+        assert run_bench_compare(
+            base, new, threshold=1.5, print_fn=lambda _: None
+        ) == 0

@@ -8,14 +8,18 @@ import pytest
 from repro.experiments.common import ExperimentConfig
 from repro.obs import log as obs_log
 from repro.obs import metrics as obs_metrics
+from repro.obs import timeline as obs_timeline
 from repro.obs import trace as obs_trace
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import MetricsRegistry, percentile_from_counts
 from repro.obs.report import (
     REPORT_SCHEMA_VERSION,
     collect_run_report,
+    load_run_report,
+    upgrade_report,
+    validate_run_report,
     write_run_report,
 )
-from repro.obs.trace import Tracer, profile
+from repro.obs.trace import SPAN_SECONDS_PREFIX, Tracer, profile, track_memory
 
 
 class TestCounters:
@@ -73,6 +77,46 @@ class TestHistograms:
         registry = MetricsRegistry()
         with pytest.raises(ValueError, match="strictly increase"):
             registry.histogram("h", buckets=(2.0, 1.0))
+
+
+class TestPercentiles:
+    def test_interpolates_within_bucket(self):
+        # 10 observations all land in the (1, 2] bucket: the median sits
+        # halfway through it by linear interpolation.
+        assert percentile_from_counts(
+            (1.0, 2.0, 4.0), (0, 10, 0, 0), 50.0
+        ) == pytest.approx(1.5)
+
+    def test_first_bucket_interpolates_from_zero(self):
+        assert percentile_from_counts((4.0,), (8, 0), 50.0) == pytest.approx(2.0)
+
+    def test_spans_buckets(self):
+        # 4 in (0,1], 4 in (1,2]: p25 is mid-first-bucket, p75 mid-second.
+        buckets, counts = (1.0, 2.0), (4, 4, 0)
+        assert percentile_from_counts(buckets, counts, 25.0) == pytest.approx(0.5)
+        assert percentile_from_counts(buckets, counts, 75.0) == pytest.approx(1.5)
+
+    def test_overflow_clamps_to_last_bound(self):
+        assert percentile_from_counts((1.0, 2.0), (0, 0, 5), 99.0) == 2.0
+
+    def test_empty_returns_zero(self):
+        assert percentile_from_counts((1.0,), (0, 0), 95.0) == 0.0
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError, match="\\[0, 100\\]"):
+            percentile_from_counts((1.0,), (0, 0), 101.0)
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError, match="counts"):
+            percentile_from_counts((1.0, 2.0), (1, 1), 50.0)
+
+    def test_histogram_method_delegates(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h", buckets=(1.0, 2.0, 4.0))
+        for _ in range(10):
+            histogram.observe(1.5)
+        assert histogram.percentile(50.0) == pytest.approx(1.5)
+        assert histogram.percentile(0.0) == pytest.approx(1.0)
 
 
 class TestRegistry:
@@ -167,6 +211,71 @@ class TestSpans:
             pass  # Must be a no-op.
 
 
+class TestMemorySampling:
+    def test_spans_record_peaks_under_track_memory(self):
+        tracer = Tracer()
+        with track_memory():
+            with tracer.span("alloc"):
+                buffer = bytearray(512 * 1024)
+                del buffer
+        record = tracer.records[0]
+        assert record.mem_peak_kb is not None
+        assert record.mem_peak_kb >= 512.0
+
+    def test_nested_peak_propagates_to_parent(self):
+        """An inner allocation spike must count toward the outer span."""
+        tracer = Tracer()
+        with track_memory():
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    buffer = bytearray(512 * 1024)
+                    del buffer
+        by_name = {record.name: record for record in tracer.records}
+        assert by_name["outer"].mem_peak_kb >= by_name["inner"].mem_peak_kb
+
+    def test_no_sampling_without_tracemalloc(self):
+        tracer = Tracer()
+        with tracer.span("plain"):
+            pass
+        assert tracer.records[0].mem_peak_kb is None
+        assert tracer.memory_summary() == {"sampled_spans": 0.0, "peak_kb": None}
+
+    def test_track_memory_falsy_is_noop(self):
+        import tracemalloc
+
+        with track_memory(False):
+            assert not tracemalloc.is_tracing()
+
+    def test_memory_summary_reports_max(self):
+        tracer = Tracer()
+        with track_memory():
+            with tracer.span("a"):
+                buffer = bytearray(256 * 1024)
+                del buffer
+            with tracer.span("b"):
+                pass
+        summary = tracer.memory_summary()
+        assert summary["sampled_spans"] == 2.0
+        assert summary["peak_kb"] >= 256.0
+
+
+class TestDurationHistograms:
+    def test_global_tracer_feeds_span_histograms(self):
+        obs_trace.TRACER.reset()
+        name = "unit.test.duration_histogram"
+        with obs_trace.span(name):
+            pass
+        snapshot = obs_metrics.snapshot()["histograms"]
+        assert snapshot[SPAN_SECONDS_PREFIX + name]["count"] >= 1
+
+    def test_plain_tracer_does_not_observe(self):
+        tracer = Tracer()
+        with tracer.span("unit.test.unobserved"):
+            pass
+        histograms = obs_metrics.snapshot()["histograms"]
+        assert SPAN_SECONDS_PREFIX + "unit.test.unobserved" not in histograms
+
+
 class TestLogging:
     def test_logger_hierarchy(self):
         assert obs_log.get_logger("sim.engine").name == "repro.sim.engine"
@@ -203,7 +312,7 @@ class TestRunReport:
         assert loaded == written
         assert set(loaded) == {
             "schema", "command", "config", "seed", "spans", "span_stats",
-            "dropped_spans", "metrics", "meta",
+            "dropped_spans", "timeline", "memory", "metrics", "meta",
         }
         assert loaded["schema"] == REPORT_SCHEMA_VERSION
         assert loaded["command"] == "fig2"
@@ -244,6 +353,70 @@ class TestRunReport:
         )
         assert report["seed"] == 5
         assert report["extra"] == {"note": "hi"}
+
+    def test_timeline_and_memory_sections_present(self):
+        obs_timeline.reset()
+        obs_timeline.emit(obs_timeline.HANDOVER, 60.0, "terminal-1")
+        report = collect_run_report()
+        assert report["timeline"]["events"][-1]["kind"] == "handover"
+        assert report["timeline"]["dropped"] == 0
+        assert report["memory"]["tracemalloc"] is False
+        obs_timeline.reset()
+
+    def test_drop_warning_logged(self, caplog):
+        obs_timeline.reset()
+        small = obs_timeline.Timeline(capacity=2)
+        for index in range(5):
+            small.emit(obs_timeline.HANDOVER, float(index), "t")
+        original = obs_timeline.TIMELINE
+        obs_timeline.TIMELINE = small
+        # configure_logging() stops "repro" records from propagating to the
+        # root logger, which is where caplog listens.
+        repro_logger = logging.getLogger("repro")
+        original_propagate = repro_logger.propagate
+        repro_logger.propagate = True
+        try:
+            with caplog.at_level(logging.WARNING, logger="repro.obs.report"):
+                report = collect_run_report()
+        finally:
+            obs_timeline.TIMELINE = original
+            repro_logger.propagate = original_propagate
+        assert report["timeline"]["dropped"] == 3
+        assert any("dropped" in message for message in caplog.messages)
+
+    def test_validate_current_schema(self):
+        validate_run_report(collect_run_report())
+
+    def test_validate_rejects_missing_keys(self):
+        report = collect_run_report()
+        report.pop("timeline")
+        with pytest.raises(ValueError, match="missing keys"):
+            validate_run_report(report)
+
+    def test_schema1_upgrade(self, tmp_path):
+        legacy = {
+            "schema": 1,
+            "command": "fig2",
+            "config": {"seed": 3},
+            "seed": 3,
+            "spans": [],
+            "span_stats": {},
+            "dropped_spans": 0,
+            "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
+            "meta": {},
+        }
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps(legacy))
+        loaded = load_run_report(str(path))
+        assert loaded["schema"] == REPORT_SCHEMA_VERSION
+        assert loaded["schema_original"] == 1
+        assert loaded["timeline"]["events"] == []
+        assert loaded["memory"]["tracemalloc"] is False
+        validate_run_report(loaded)
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(ValueError, match="unsupported run-report schema"):
+            upgrade_report({"schema": 99})
 
     def test_global_metrics_reset_preserves_module_instruments(self):
         """obs_metrics.reset() must not orphan instrumented modules."""

@@ -52,6 +52,25 @@ class TestContactEvents:
         with pytest.raises(ValueError, match="sat ids"):
             contact_events(np.zeros((1, 2, 5), dtype=bool), ["one"], ["A"], grid)
 
+    def test_narrated_onto_timeline(self, grid):
+        from repro.obs import timeline as obs_timeline
+
+        obs_timeline.reset()
+        try:
+            visibility = np.zeros((1, 1, 10), dtype=bool)
+            visibility[0, 0, 2:5] = True
+            contact_events(visibility, ["taipei"], ["A"], grid)
+            begins = obs_timeline.events(kind=obs_timeline.CONTACT_BEGIN)
+            ends = obs_timeline.events(kind=obs_timeline.CONTACT_END)
+            assert len(begins) == len(ends) == 1
+            assert begins[0].subject == "A"
+            assert begins[0].t_s == 120.0
+            assert begins[0].attrs["site"] == "taipei"
+            assert begins[0].attrs["duration_hint_s"] == pytest.approx(180.0)
+            assert ends[0].t_s == 300.0
+        finally:
+            obs_timeline.reset()
+
 
 class TestPassStatistics:
     def test_empty(self, grid):

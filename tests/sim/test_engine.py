@@ -83,6 +83,45 @@ class TestBasicOperation:
         assert np.all(result.served_fraction >= 0.0)
         assert np.all(result.served_fraction <= 1.0)
 
+    def test_run_narrates_grants_onto_timeline(self, equator_setup, rng):
+        from repro.obs import timeline as obs_timeline
+
+        obs_timeline.reset()
+        try:
+            terminal, station = equator_setup
+            constellation = Constellation([_overhead_sat("S1")])
+            grid = TimeGrid(duration_s=600.0, step_s=60.0)
+            result = BentPipeSimulator(
+                constellation, [terminal], [station], grid
+            ).run(rng)
+            grants = obs_timeline.events(kind=obs_timeline.ALLOC_GRANT)
+            assert len(grants) == len(result.sessions)
+            assert grants[0].subject == "S1"
+            assert grants[0].party == "p1"
+            assert grants[0].duration_s > 0.0
+            assert grants[0].attrs["terminal"] == "ut-0"
+        finally:
+            obs_timeline.reset()
+
+    def test_unserved_demand_narrated_as_denies(self, equator_setup, rng):
+        from repro.obs import timeline as obs_timeline
+
+        obs_timeline.reset()
+        try:
+            terminal, station = equator_setup
+            # Satellite on the far side: demand exists, nothing can serve it.
+            constellation = Constellation(
+                [_overhead_sat("S1", mean_anomaly_deg=180.0)]
+            )
+            grid = TimeGrid(duration_s=300.0, step_s=60.0)
+            BentPipeSimulator(constellation, [terminal], [station], grid).run(rng)
+            denies = obs_timeline.events(kind=obs_timeline.ALLOC_DENY)
+            assert len(denies) == 1
+            assert denies[0].subject == "ut-0"
+            assert denies[0].duration_s == pytest.approx(300.0)
+        finally:
+            obs_timeline.reset()
+
 
 class TestCapacityLimits:
     def test_capacity_cap_respected(self, rng):

@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.cli import EXPERIMENTS, build_parser, main
+from repro.obs.export import SIM_PID, SPAN_PID, validate_chrome_trace
 
 
 class TestParser:
@@ -35,12 +36,34 @@ class TestParser:
             [
                 "fig2", "--duration", "86400", "--log-level", "DEBUG",
                 "--metrics-out", "run.json", "--profile", "run.pstats",
+                "--trace-out", "trace.json", "--track-memory",
             ]
         )
         assert args.duration == 86400.0
         assert args.log_level == "DEBUG"
         assert args.metrics_out == "run.json"
         assert args.profile == "run.pstats"
+        assert args.trace_out == "trace.json"
+        assert args.track_memory is True
+
+    def test_trace_flags_default_off(self):
+        args = build_parser().parse_args(["fig2"])
+        assert args.trace_out is None
+        assert args.track_memory is False
+
+    def test_bench_compare_parses(self):
+        args = build_parser().parse_args(
+            ["bench-compare", "a.json", "b.json", "--threshold", "1.5"]
+        )
+        assert args.command == "bench-compare"
+        assert args.bench_a == "a.json"
+        assert args.bench_b == "b.json"
+        assert args.threshold == 1.5
+        assert args.report_only is False
+
+    def test_bench_compare_requires_two_paths(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench-compare", "a.json"])
 
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
@@ -127,3 +150,100 @@ class TestMain:
         captured = capsys.readouterr()
         assert "Fig. 4c" in captured.out
         assert "Fig. 4c" not in captured.err
+
+    def test_output_flags_create_missing_parent_dirs(self, capsys, tmp_path):
+        """Nested output paths must be created, not rejected."""
+        metrics = tmp_path / "reports" / "nested" / "run.json"
+        trace = tmp_path / "traces" / "trace.json"
+        pstats = tmp_path / "profiles" / "run.pstats"
+        assert main(
+            [
+                "fig4c", "--runs", "1", "--step", "600",
+                "--metrics-out", str(metrics),
+                "--trace-out", str(trace),
+                "--profile", str(pstats),
+            ]
+        ) == 0
+        assert metrics.exists()
+        assert trace.exists()
+        assert pstats.exists()
+
+    def test_track_memory_fills_report_memory_section(self, capsys, tmp_path):
+        path = tmp_path / "run.json"
+        assert main(
+            [
+                "fig4c", "--runs", "1", "--step", "600",
+                "--track-memory", "--metrics-out", str(path),
+            ]
+        ) == 0
+        report = json.loads(path.read_text())
+        assert report["memory"]["tracemalloc"] is True
+        assert report["memory"]["sampled_spans"] > 0
+        assert report["memory"]["peak_kb"] > 0.0
+
+
+class TestTraceOut:
+    def test_fig2_trace_round_trips_with_satellite_tracks(
+        self, capsys, tmp_path
+    ):
+        """Acceptance: a fig2 run with --trace-out yields a valid Chrome
+        trace with at least one satellite track, one contact slice, and the
+        wall-clock spans."""
+        from repro.experiments import common
+        from repro.obs import timeline as obs_timeline
+        from repro.obs import trace as obs_trace
+
+        obs_timeline.reset()
+        obs_trace.reset()  # Keep the span ring from overflowing mid-session.
+        path = tmp_path / "trace.json"
+        try:
+            assert main(
+                [
+                    "fig2", "--runs", "1", "--step", "1800",
+                    "--duration", "86400", "--trace-out", str(path),
+                ]
+            ) == 0
+        finally:
+            common.clear_caches()
+            obs_timeline.reset()
+        document = json.loads(path.read_text())
+        validate_chrome_trace(document)
+        events = document["traceEvents"]
+        contacts = [e for e in events if e.get("name") == "contact"]
+        assert contacts, "no contact slices in the trace"
+        satellite_subjects = {e["args"]["subject"] for e in contacts}
+        assert satellite_subjects, "no satellite tracks"
+        track_labels = {
+            e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["pid"] == SIM_PID and "tid" in e
+        }
+        assert satellite_subjects & track_labels
+        span_names = {
+            e["name"] for e in events if e["ph"] == "X" and e["pid"] == SPAN_PID
+        }
+        assert "experiment.fig2" in span_names
+
+    def test_bench_compare_cli_exit_codes(self, capsys, tmp_path):
+        def record(wall_s):
+            return {
+                "schema": 2,
+                "figures": {"fig2": {"wall_s": wall_s}},
+                "span_stats": {},
+                "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
+            }
+
+        base = tmp_path / "base.json"
+        slow = tmp_path / "slow.json"
+        base.write_text(json.dumps(record(1.0)))
+        slow.write_text(json.dumps(record(2.0)))
+        assert main(["bench-compare", str(base), str(base)]) == 0
+        assert main(["bench-compare", str(base), str(slow)]) == 1
+        assert main(
+            ["bench-compare", str(base), str(slow), "--report-only"]
+        ) == 0
+        assert main(
+            ["bench-compare", str(base), str(slow), "--threshold", "2.5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
