@@ -40,12 +40,19 @@ from repro.obs import trace as obs_trace
 #: The configuration every figure benchmark runs at.  The paper uses 100
 #: Monte-Carlo runs; 20 runs at 120 s steps reproduces every figure shape in
 #: minutes of wall clock (EXPERIMENTS.md records the resulting numbers).
-BENCH_CONFIG = ExperimentConfig(runs=20, step_s=120.0, seed=2024)
+#: ``REPRO_BENCH_PARALLEL`` sets the Monte-Carlo worker count for the whole
+#: session (results are identical for every value; only wall-clock moves).
+BENCH_CONFIG = ExperimentConfig(
+    runs=20, step_s=120.0, seed=2024,
+    parallel=int(os.environ.get("REPRO_BENCH_PARALLEL", "1")),
+)
 
 #: Where the machine-readable benchmark record lands.  CI's bench-smoke job
-#: points REPRO_BENCH_OUT elsewhere so the committed baseline stays put.
+#: points REPRO_BENCH_OUT elsewhere so the committed records stay put.
+#: BENCH_PR1.json is the frozen pre-runner baseline; BENCH_PR3.json is the
+#: current record (unified runner + parallel identity legs).
 BENCH_REPORT_PATH = Path(
-    os.environ.get("REPRO_BENCH_OUT", Path(__file__).parent / "BENCH_PR1.json")
+    os.environ.get("REPRO_BENCH_OUT", Path(__file__).parent / "BENCH_PR3.json")
 )
 
 #: Per-test wall-clock, filled by the autouse timer fixture.
@@ -84,10 +91,29 @@ def shared_pool_visibility(bench_config):
 
 @pytest.fixture(autouse=True)
 def _time_benchmark(request):
-    """Record each benchmark's wall clock for the session perf report."""
+    """Record each benchmark's wall clock for the session perf report.
+
+    ``setdefault`` so a test that measured a more precise interval itself
+    (via :func:`record_wall`) keeps its own number.
+    """
     start = time.perf_counter()
     yield
-    _TEST_SECONDS[request.node.name] = time.perf_counter() - start
+    _TEST_SECONDS.setdefault(request.node.name, time.perf_counter() - start)
+
+
+@pytest.fixture
+def record_wall(request):
+    """Record an explicitly measured wall time for this benchmark's entry.
+
+    The parallel-identity benchmarks run the figure twice (serial then
+    parallel) and want the record to carry only the parallel leg, not the
+    comparison overhead.
+    """
+
+    def _record(seconds: float) -> None:
+        _TEST_SECONDS[request.node.name] = seconds
+
+    return _record
 
 
 def pytest_sessionfinish(session, exitstatus):
@@ -102,6 +128,7 @@ def pytest_sessionfinish(session, exitstatus):
             "seed": BENCH_CONFIG.seed,
             "min_elevation_deg": BENCH_CONFIG.min_elevation_deg,
             "duration_s": BENCH_CONFIG.duration_s,
+            "parallel": BENCH_CONFIG.parallel,
         },
         "exit_status": int(exitstatus),
         "figures": {

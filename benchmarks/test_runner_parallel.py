@@ -1,0 +1,44 @@
+"""Parallel Monte-Carlo identity benchmarks.
+
+Runs the two heaviest Monte-Carlo figures serially and with a 4-worker
+process pool and asserts the results are *exactly* equal — the runner's
+determinism contract (order-independent per-run seeds + ordered reduction)
+means ``--parallel`` may only change wall-clock, never a number.
+
+The recorded wall time for each entry is the parallel leg alone
+(:func:`record_wall`), so bench-compare can track parallel overhead/speedup
+across PRs.  On multi-core runners the parallel leg should win; on a
+single-core container it pays pool + shared-memory overhead and loses —
+either way the *identity* assertion is the point of these benchmarks.
+"""
+
+import time
+from dataclasses import replace
+
+from repro.experiments.fig2_coverage_vs_size import DEFAULT_SIZES, run_fig2
+from repro.experiments.fig3_idle_vs_cities import run_fig3
+
+PARALLEL_WORKERS = 4
+
+
+def test_fig2_parallel_matches_serial(
+    bench_config, shared_pool_visibility, record_wall
+):
+    serial = run_fig2(replace(bench_config, parallel=1), sizes=DEFAULT_SIZES)
+    start = time.perf_counter()
+    parallel = run_fig2(
+        replace(bench_config, parallel=PARALLEL_WORKERS), sizes=DEFAULT_SIZES
+    )
+    record_wall(time.perf_counter() - start)
+    # Exact equality, point by point: same floats, same gaps.
+    assert parallel.points == serial.points
+
+
+def test_fig3_parallel_matches_serial(
+    bench_config, shared_pool_visibility, record_wall
+):
+    serial = run_fig3(replace(bench_config, parallel=1))
+    start = time.perf_counter()
+    parallel = run_fig3(replace(bench_config, parallel=PARALLEL_WORKERS))
+    record_wall(time.perf_counter() - start)
+    assert parallel.points == serial.points

@@ -4,6 +4,7 @@ Usage::
 
     python -m repro fig2 --runs 10 --step 300
     python -m repro fig5 --log-level INFO --metrics-out run.json
+    python -m repro all --parallel 4
     python -m repro list
 
 Each subcommand runs the corresponding experiment at the requested fidelity
@@ -54,6 +55,7 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         step_s=args.step,
         seed=args.seed,
         duration_s=args.duration,
+        parallel=args.parallel,
     )
 
 
@@ -223,10 +225,21 @@ class _Parser(argparse.ArgumentParser):
         self.exit(2, f"{self.prog}: error: {message}\n{hint}\n")
 
 
+def _positive_int(text: str) -> int:
+    """argparse type for flags that must be >= 1 (``--runs``, ``--parallel``)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     """Fidelity + observability flags shared by every experiment subcommand."""
     parser.add_argument(
-        "--runs", type=int, default=10,
+        "--runs", type=_positive_int, default=10,
         help="Monte-Carlo runs per point (default: 10; paper: 100)",
     )
     parser.add_argument(
@@ -239,6 +252,12 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--duration", type=float, default=WEEK_S, metavar="SECONDS",
         help="experiment horizon in seconds (default: one week)",
+    )
+    parser.add_argument(
+        "--parallel", type=_positive_int, default=1, metavar="N",
+        help="Monte-Carlo worker processes (default: 1 = in-process); "
+        "results are identical for every N — per-run seeds are "
+        "order-independent",
     )
     parser.add_argument(
         "--log-level", default=None, metavar="LEVEL", type=str.upper,
@@ -319,7 +338,10 @@ def _run_list() -> int:
     for name in EXPERIMENTS:
         print(name)
     print()
-    print("common flags (every experiment): --runs --step --seed --duration")
+    print(
+        "common flags (every experiment): "
+        "--runs --step --seed --duration --parallel"
+    )
     print("observability flags:")
     for flag, description in OBSERVABILITY_FLAGS:
         print(f"  {flag:14s}{description}")

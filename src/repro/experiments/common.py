@@ -3,17 +3,27 @@
 The Monte-Carlo experiments all sample from the same synthetic Starlink-like
 pool and evaluate coverage at the same sites (the 21 cities and/or Taipei),
 so the expensive artifacts — the pool and its packed visibility tensor — are
-built once per configuration and cached at module level.  Cache traffic and
-build time are accounted through :mod:`repro.obs` (counters
-``experiments.visibility_cache.*`` / ``experiments.pool_cache.*`` and the
-``visibility.build`` span).
+owned by an :class:`ExperimentContext` and built once per configuration.
+
+A context is an explicit object with an explicit lifetime: the unified
+runner (:mod:`repro.runner`) threads one through every scenario kernel, a
+parallel worker process holds its own (with the visibility tensor attached
+from shared memory instead of rebuilt), and tests can create throwaway
+contexts that never touch each other.  The module-level helpers
+(:func:`starlink_pool`, :func:`pool_visibility`, :func:`clear_caches`)
+delegate to one process-default context so existing call sites keep
+working.
+
+Cache traffic and build time are accounted through :mod:`repro.obs`
+(counters ``experiments.visibility_cache.*`` / ``experiments.pool_cache.*``
+and the ``visibility.build`` span).
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -45,6 +55,12 @@ class ExperimentConfig:
     benchmark pass in minutes on a laptop while leaving the statistics
     stable (means move by well under the figure-level differences).
     EXPERIMENTS.md records the configuration used for the reported numbers.
+
+    ``parallel`` is the Monte-Carlo worker count (the CLI's ``--parallel``):
+    1 means run in-process; N > 1 fans runs out over a process pool.  It is
+    an *execution* knob, not a statistical one — per-run seeds are derived
+    order-independently (see :mod:`repro.runner.scenario`), so results are
+    identical for every value of ``parallel``.
     """
 
     runs: int = 20
@@ -52,6 +68,7 @@ class ExperimentConfig:
     seed: int = 2024
     min_elevation_deg: float = DEFAULT_MIN_ELEVATION_DEG
     duration_s: float = WEEK_S  # The paper's horizon: one simulated week.
+    parallel: int = 1
 
     def grid(self) -> TimeGrid:
         return TimeGrid(duration_s=self.duration_s, step_s=self.step_s)
@@ -65,62 +82,152 @@ ALL_SITES = (TAIPEI,) + tuple(CITIES)
 TAIPEI_INDEX = 0
 CITY_INDICES = tuple(range(1, len(ALL_SITES)))
 
-_POOL_CACHE: Dict[int, Constellation] = {}
-#: Keyed by every config field the tensor depends on — pool seed, step,
-#: elevation mask, AND horizon.  Omitting the horizon aliased differently
-#: sized grids onto one entry the moment ``duration_s`` became configurable.
-_VISIBILITY_CACHE: Dict[Tuple[int, float, float, float], PackedVisibility] = {}
+#: Cache key of one packed visibility tensor — every config field the tensor
+#: depends on: pool seed, step, elevation mask, AND horizon.  Omitting the
+#: horizon aliased differently sized grids onto one entry the moment
+#: ``duration_s`` became configurable.
+VisibilityKey = Tuple[int, float, float, float]
+
+
+def visibility_cache_key(
+    config: ExperimentConfig, pool_seed: int = 0
+) -> VisibilityKey:
+    """The exact-match key a config's visibility tensor is cached under."""
+    return (pool_seed, config.step_s, config.min_elevation_deg, config.duration_s)
+
+
+class ExperimentContext:
+    """Owns the expensive experiment artifacts: pools + visibility tensors.
+
+    One context is one cache domain.  The process-default context (module
+    helpers below) serves the CLI and the benchmark suite; the parallel
+    runner gives each worker process its own context with the shared-memory
+    visibility tensor pre-installed; tests create throwaway contexts to
+    keep cache state out of each other's way.
+
+    Not thread-safe: experiments drive a context from one thread (or one
+    process) at a time.
+    """
+
+    def __init__(self) -> None:
+        self._pools: Dict[int, Constellation] = {}
+        self._visibility: Dict[VisibilityKey, PackedVisibility] = {}
+
+    def pool(self, seed: int = 0) -> Constellation:
+        """The cached synthetic Starlink-like pool (4408 satellites)."""
+        if seed not in self._pools:
+            _POOL_MISSES.inc()
+            _LOG.info("building starlink-like pool (seed=%d)", seed)
+            self._pools[seed] = starlink_like_constellation(
+                rng=np.random.default_rng(seed)
+            )
+        else:
+            _POOL_HITS.inc()
+        return self._pools[seed]
+
+    def visibility(
+        self, config: ExperimentConfig, pool_seed: int = 0
+    ) -> PackedVisibility:
+        """Packed visibility of the full pool at every experiment site.
+
+        This is the one expensive computation (~30-60 s for a week at
+        60-120 s steps); everything downstream is boolean reductions.
+        Cached per (pool seed, step, elevation mask, horizon).
+        """
+        key = visibility_cache_key(config, pool_seed)
+        if key not in self._visibility:
+            _VIS_MISSES.inc()
+            _LOG.info(
+                "visibility cache miss: building packed tensor "
+                "(pool_seed=%d step=%.0fs mask=%.1fdeg duration=%.0fs)",
+                *key,
+            )
+            sites = [
+                city.terminal(min_elevation_deg=config.min_elevation_deg)
+                for city in ALL_SITES
+            ]
+            start = time.perf_counter()
+            with span("visibility.build"):
+                self._visibility[key] = packed_visibility(
+                    self.pool(pool_seed), sites, config.grid()
+                )
+            elapsed = time.perf_counter() - start
+            _VIS_BUILD_SECONDS.observe(elapsed)
+            _VIS_LAST_BUILD.set(elapsed)
+            _LOG.info("packed tensor built in %.2f s", elapsed)
+        else:
+            _VIS_HITS.inc()
+        return self._visibility[key]
+
+    def install_visibility(
+        self,
+        config: ExperimentConfig,
+        visibility: PackedVisibility,
+        pool_seed: int = 0,
+    ) -> None:
+        """Seed the cache with an externally built tensor.
+
+        Parallel workers attach the parent's tensor from shared memory and
+        install it here, so scenario kernels hit the cache instead of
+        triggering a per-worker rebuild (or a ~100 MB pickle).
+        """
+        self._visibility[visibility_cache_key(config, pool_seed)] = visibility
+
+    def cached_visibility(self) -> Dict[VisibilityKey, PackedVisibility]:
+        """A copy of the live visibility cache (tests inspect keying)."""
+        return dict(self._visibility)
+
+    def cached_pool_seeds(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._pools))
+
+    def clear(self) -> None:
+        """Drop every cached pool/visibility this context owns."""
+        self._pools.clear()
+        self._visibility.clear()
+
+
+#: The process-default context behind the module-level helpers.
+_DEFAULT_CONTEXT = ExperimentContext()
+
+
+def default_context() -> ExperimentContext:
+    """The process-default :class:`ExperimentContext`."""
+    return _DEFAULT_CONTEXT
 
 
 def starlink_pool(seed: int = 0) -> Constellation:
-    """The cached synthetic Starlink-like pool (4408 satellites)."""
-    if seed not in _POOL_CACHE:
-        _POOL_MISSES.inc()
-        _LOG.info("building starlink-like pool (seed=%d)", seed)
-        _POOL_CACHE[seed] = starlink_like_constellation(
-            rng=np.random.default_rng(seed)
-        )
-    else:
-        _POOL_HITS.inc()
-    return _POOL_CACHE[seed]
+    """The default context's cached Starlink-like pool."""
+    return _DEFAULT_CONTEXT.pool(seed)
 
 
 def pool_visibility(config: ExperimentConfig, pool_seed: int = 0) -> PackedVisibility:
-    """Packed visibility of the full pool at every experiment site.
+    """The default context's packed visibility for ``config``."""
+    return _DEFAULT_CONTEXT.visibility(config, pool_seed)
 
-    This is the one expensive computation (~30-60 s for a week at 60-120 s
-    steps); everything downstream is boolean reductions.  Cached per
-    (pool seed, step, elevation mask, horizon).
-    """
-    key = (pool_seed, config.step_s, config.min_elevation_deg, config.duration_s)
-    if key not in _VISIBILITY_CACHE:
-        _VIS_MISSES.inc()
-        _LOG.info(
-            "visibility cache miss: building packed tensor "
-            "(pool_seed=%d step=%.0fs mask=%.1fdeg duration=%.0fs)",
-            *key,
-        )
-        sites = [
-            city.terminal(min_elevation_deg=config.min_elevation_deg)
-            for city in ALL_SITES
-        ]
-        start = time.perf_counter()
-        with span("visibility.build"):
-            _VISIBILITY_CACHE[key] = packed_visibility(
-                starlink_pool(pool_seed), sites, config.grid()
-            )
-        elapsed = time.perf_counter() - start
-        _VIS_BUILD_SECONDS.observe(elapsed)
-        _VIS_LAST_BUILD.set(elapsed)
-        _LOG.info("packed tensor built in %.2f s", elapsed)
-    else:
-        _VIS_HITS.inc()
-    return _VISIBILITY_CACHE[key]
+
+def clear_caches() -> None:
+    """Drop the default context's caches (tests use this to bound memory)."""
+    _DEFAULT_CONTEXT.clear()
+
+
+#: Lazily built, read-only normalized city-weight vector.  The weighted
+#: coverage reduction below runs inside every Monte-Carlo kernel of
+#: Figs. 4a/5/6 and the sharing experiment; rebuilding the vector per call
+#: was measurable noise in exactly those hot loops.
+_CITY_WEIGHTS: Optional[np.ndarray] = None
+
+#: City rows of the visibility tensor (sites 1..21) as a fancy index.
+_CITY_ROWS = np.array(CITY_INDICES)
 
 
 def city_weights() -> np.ndarray:
-    """Normalized population weights of the 21 cities."""
-    return np.array(population_weights(CITIES))
+    """Normalized population weights of the 21 cities (cached, read-only)."""
+    global _CITY_WEIGHTS
+    if _CITY_WEIGHTS is None:
+        weights = np.array(population_weights(CITIES))
+        weights.flags.writeable = False
+        _CITY_WEIGHTS = weights
+    return _CITY_WEIGHTS
 
 
 def weighted_city_coverage_fraction(
@@ -128,10 +235,4 @@ def weighted_city_coverage_fraction(
 ) -> float:
     """Population-weighted coverage over the 21 cities for a pool subset."""
     fractions = visibility.coverage_fractions(sat_indices)
-    return float(city_weights() @ fractions[list(CITY_INDICES)])
-
-
-def clear_caches() -> None:
-    """Drop cached pools/visibility (tests use this to bound memory)."""
-    _POOL_CACHE.clear()
-    _VISIBILITY_CACHE.clear()
+    return float(city_weights() @ fractions[_CITY_ROWS])

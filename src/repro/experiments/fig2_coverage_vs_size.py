@@ -19,11 +19,10 @@ from repro.analysis.gaps import gap_timeline_events
 from repro.experiments.common import (
     ALL_SITES,
     ExperimentConfig,
+    ExperimentContext,
     TAIPEI_INDEX,
-    pool_visibility,
-    starlink_pool,
 )
-from repro.obs.trace import span
+from repro.runner import RunContext, Scenario, run_scenario
 from repro.sim.contacts import contact_events
 from repro.sim.coverage import gap_lengths_s
 
@@ -57,52 +56,77 @@ class Fig2Result:
         return [(p.satellites, p.mean_uncovered_percent) for p in self.points]
 
 
+@dataclass
+class Fig2Scenario(Scenario):
+    """Taipei coverage vs sampled constellation size.
+
+    Each run reduces the Taipei row of the shared packed-visibility tensor
+    over a random satellite subset.  The first run of each size is also
+    narrated onto the simulation timeline (coverage gaps at Taipei plus
+    per-satellite contact windows for a bounded satellite subset), so
+    ``--trace-out`` captures inspectable tracks from a figure run.
+    """
+
+    sizes: Sequence[int] = DEFAULT_SIZES
+
+    name = "fig2"
+    salt = 2
+
+    def sweep(
+        self, config: ExperimentConfig, context: ExperimentContext
+    ) -> Sequence[int]:
+        pool_size = len(context.pool())
+        for size in self.sizes:
+            if size > pool_size:
+                raise ValueError(f"size {size} exceeds pool of {pool_size}")
+        return list(self.sizes)
+
+    def run_one(self, ctx: RunContext, run_index: int) -> Tuple[float, float]:
+        visibility = ctx.visibility()
+        indices = ctx.rng.choice(ctx.pool_size(), size=ctx.point, replace=False)
+        mask = visibility.site_mask(TAIPEI_INDEX, indices)
+        uncovered = 100.0 * (1.0 - mask.mean())
+        gaps = gap_lengths_s(mask, ctx.config.grid().step_s)
+        max_gap = float(gaps.max()) if gaps.size else 0.0
+        if run_index == 0:
+            _narrate_run(
+                visibility, indices, mask, ctx.config.grid(),
+                ctx.context.pool(ctx.pool_seed),
+            )
+        return (float(uncovered), max_gap)
+
+    def reduce(
+        self,
+        point: int,
+        point_index: int,
+        samples: List[Tuple[float, float]],
+        config: ExperimentConfig,
+    ) -> Fig2Point:
+        uncovered = np.array([sample[0] for sample in samples])
+        max_gaps = np.array([sample[1] for sample in samples])
+        return Fig2Point(
+            satellites=point,
+            mean_uncovered_percent=float(uncovered.mean()),
+            std_uncovered_percent=float(uncovered.std()),
+            mean_max_gap_s=float(max_gaps.mean()),
+            max_max_gap_s=float(max_gaps.max()),
+        )
+
+    def finalize(
+        self, reduced: List[Fig2Point], config: ExperimentConfig
+    ) -> Fig2Result:
+        return Fig2Result(points=reduced, config=config)
+
+
 def run_fig2(
     config: ExperimentConfig = ExperimentConfig(),
     sizes: Sequence[int] = DEFAULT_SIZES,
 ) -> Fig2Result:
-    """Run the Fig. 2 sweep.
-
-    Uses the shared packed-visibility pool: each Monte-Carlo run reduces the
-    Taipei row over a random satellite subset.  The first run of each size
-    is also narrated onto the simulation timeline (coverage gaps at Taipei
-    plus per-satellite contact windows for a bounded satellite subset), so
-    ``--trace-out`` captures inspectable tracks from a figure run.
-    """
-    visibility = pool_visibility(config)
-    pool_size = len(starlink_pool())
-    rng = config.rng(salt=2)
-    grid = config.grid()
-    step_s = grid.step_s
-
-    points: List[Fig2Point] = []
-    with span("analysis.fig2"):
-        for size in sizes:
-            if size > pool_size:
-                raise ValueError(f"size {size} exceeds pool of {pool_size}")
-            uncovered = np.empty(config.runs)
-            max_gaps = np.empty(config.runs)
-            for run in range(config.runs):
-                indices = rng.choice(pool_size, size=size, replace=False)
-                mask = visibility.site_mask(TAIPEI_INDEX, indices)
-                uncovered[run] = 100.0 * (1.0 - mask.mean())
-                gaps = gap_lengths_s(mask, step_s)
-                max_gaps[run] = gaps.max() if gaps.size else 0.0
-                if run == 0:
-                    _narrate_run(visibility, indices, mask, grid)
-            points.append(
-                Fig2Point(
-                    satellites=size,
-                    mean_uncovered_percent=float(uncovered.mean()),
-                    std_uncovered_percent=float(uncovered.std()),
-                    mean_max_gap_s=float(max_gaps.mean()),
-                    max_max_gap_s=float(max_gaps.max()),
-                )
-            )
-    return Fig2Result(points=points, config=config)
+    """Run the Fig. 2 sweep (see :class:`Fig2Scenario`)."""
+    return run_scenario(Fig2Scenario(sizes=sizes), config)
 
 
-def _narrate_run(visibility, indices, mask, grid) -> None:
+def _narrate_run(visibility, indices, mask, grid, pool) -> None:
     """Emit timeline events describing one Monte-Carlo run.
 
     Gap open/close events come from the union Taipei mask; contact windows
@@ -115,6 +139,5 @@ def _narrate_run(visibility, indices, mask, grid) -> None:
     active = np.flatnonzero(sat_masks.any(axis=1))[:MAX_TRACED_SATELLITES]
     if active.size == 0:
         return
-    pool = starlink_pool()
     sat_ids = [pool[int(indices[row])].sat_id for row in active]
     contact_events(sat_masks[active][None, :, :], [site_name], sat_ids, grid)

@@ -18,10 +18,9 @@ import numpy as np
 from repro.experiments.common import (
     CITY_INDICES,
     ExperimentConfig,
-    pool_visibility,
-    starlink_pool,
+    ExperimentContext,
 )
-from repro.obs.trace import span
+from repro.runner import RunContext, Scenario, run_scenario
 
 
 @dataclass(frozen=True)
@@ -40,42 +39,71 @@ class Fig3Result:
         return [(p.cities, p.mean_idle_percent) for p in self.points]
 
 
-def run_fig3(
-    config: ExperimentConfig = ExperimentConfig(),
-    city_counts: Sequence[int] = tuple(range(1, 22)),
-    sample_size: int = 500,
-) -> Fig3Result:
-    """Run the Fig. 3 sweep.
+@dataclass
+class Fig3Scenario(Scenario):
+    """Satellite idle time vs the number of cities served.
 
     A satellite's idle time depends only on its own footprint vs the
     terminal set, so the random satellite sample just controls the averaging
     population; per run we sample ``sample_size`` satellites and average
     their idle fractions over terminals at the top-k cities.
     """
-    visibility = pool_visibility(config)
-    pool_size = len(starlink_pool())
-    if sample_size > pool_size:
-        raise ValueError(f"sample_size {sample_size} exceeds pool {pool_size}")
-    rng = config.rng(salt=3)
 
-    points: List[Fig3Point] = []
-    with span("analysis.fig3"):
-        for count in city_counts:
+    city_counts: Sequence[int] = tuple(range(1, 22))
+    sample_size: int = 500
+
+    name = "fig3"
+    salt = 3
+
+    def sweep(
+        self, config: ExperimentConfig, context: ExperimentContext
+    ) -> Sequence[int]:
+        pool_size = len(context.pool())
+        if self.sample_size > pool_size:
+            raise ValueError(
+                f"sample_size {self.sample_size} exceeds pool {pool_size}"
+            )
+        for count in self.city_counts:
             if not 1 <= count <= len(CITY_INDICES):
                 raise ValueError(f"city count {count} out of range")
-            site_indices = list(CITY_INDICES[:count])
-            idle_means = np.empty(config.runs)
-            for run in range(config.runs):
-                sat_indices = rng.choice(pool_size, size=sample_size, replace=False)
-                active = visibility.satellite_active_fractions(
-                    sat_indices=sat_indices, site_indices=site_indices
-                )
-                idle_means[run] = 100.0 * (1.0 - active).mean()
-            points.append(
-                Fig3Point(
-                    cities=count,
-                    mean_idle_percent=float(idle_means.mean()),
-                    std_idle_percent=float(idle_means.std()),
-                )
-            )
-    return Fig3Result(points=points, config=config)
+        return list(self.city_counts)
+
+    def run_one(self, ctx: RunContext, run_index: int) -> float:
+        site_indices = list(CITY_INDICES[: ctx.point])
+        sat_indices = ctx.rng.choice(
+            ctx.pool_size(), size=self.sample_size, replace=False
+        )
+        active = ctx.visibility().satellite_active_fractions(
+            sat_indices=sat_indices, site_indices=site_indices
+        )
+        return float(100.0 * (1.0 - active).mean())
+
+    def reduce(
+        self,
+        point: int,
+        point_index: int,
+        samples: List[float],
+        config: ExperimentConfig,
+    ) -> Fig3Point:
+        idle_means = np.array(samples)
+        return Fig3Point(
+            cities=point,
+            mean_idle_percent=float(idle_means.mean()),
+            std_idle_percent=float(idle_means.std()),
+        )
+
+    def finalize(
+        self, reduced: List[Fig3Point], config: ExperimentConfig
+    ) -> Fig3Result:
+        return Fig3Result(points=reduced, config=config)
+
+
+def run_fig3(
+    config: ExperimentConfig = ExperimentConfig(),
+    city_counts: Sequence[int] = tuple(range(1, 22)),
+    sample_size: int = 500,
+) -> Fig3Result:
+    """Run the Fig. 3 sweep (see :class:`Fig3Scenario`)."""
+    return run_scenario(
+        Fig3Scenario(city_counts=city_counts, sample_size=sample_size), config
+    )

@@ -18,11 +18,10 @@ import numpy as np
 
 from repro.experiments.common import (
     ExperimentConfig,
-    pool_visibility,
-    starlink_pool,
+    ExperimentContext,
     weighted_city_coverage_fraction,
 )
-from repro.obs.trace import span
+from repro.runner import RunContext, Scenario, run_scenario
 
 DEFAULT_BASE_SIZES: Sequence[int] = (1, 100, 500)
 
@@ -44,36 +43,63 @@ class Fig4aResult:
         return [(p.base_satellites, p.mean_gain_hours) for p in self.points]
 
 
-def run_fig4a(
-    config: ExperimentConfig = ExperimentConfig(),
-    base_sizes: Sequence[int] = DEFAULT_BASE_SIZES,
-) -> Fig4aResult:
-    """Run the Fig. 4a experiment.
+@dataclass
+class Fig4aScenario(Scenario):
+    """Coverage gain from one extra satellite on a random base.
 
     Each run draws a fresh base *and* a fresh additional satellite (disjoint
     from the base), then measures the weighted coverage-time delta.
     """
-    visibility = pool_visibility(config)
-    pool_size = len(starlink_pool())
-    rng = config.rng(salt=4)
-    horizon_hours = config.grid().duration_s / 3600.0
 
-    points: List[Fig4aPoint] = []
-    with span("analysis.fig4a"):
-        for base_size in base_sizes:
-            gains = np.empty(config.runs)
-            for run in range(config.runs):
-                draw = rng.choice(pool_size, size=base_size + 1, replace=False)
-                base, extra = draw[:-1], draw
-                before = weighted_city_coverage_fraction(visibility, base)
-                after = weighted_city_coverage_fraction(visibility, extra)
-                gains[run] = (after - before) * horizon_hours
-            points.append(
-                Fig4aPoint(
-                    base_satellites=base_size,
-                    mean_gain_hours=float(gains.mean()),
-                    max_gain_hours=float(gains.max()),
-                    min_gain_hours=float(gains.min()),
+    base_sizes: Sequence[int] = DEFAULT_BASE_SIZES
+
+    name = "fig4a"
+    salt = 4
+
+    def sweep(
+        self, config: ExperimentConfig, context: ExperimentContext
+    ) -> Sequence[int]:
+        pool_size = len(context.pool())
+        for base_size in self.base_sizes:
+            if base_size + 1 > pool_size:
+                raise ValueError(
+                    f"size {base_size + 1} exceeds pool of {pool_size}"
                 )
-            )
-    return Fig4aResult(points=points, config=config)
+        return list(self.base_sizes)
+
+    def run_one(self, ctx: RunContext, run_index: int) -> float:
+        visibility = ctx.visibility()
+        draw = ctx.rng.choice(ctx.pool_size(), size=ctx.point + 1, replace=False)
+        base, extra = draw[:-1], draw
+        before = weighted_city_coverage_fraction(visibility, base)
+        after = weighted_city_coverage_fraction(visibility, extra)
+        horizon_hours = ctx.config.grid().duration_s / 3600.0
+        return float((after - before) * horizon_hours)
+
+    def reduce(
+        self,
+        point: int,
+        point_index: int,
+        samples: List[float],
+        config: ExperimentConfig,
+    ) -> Fig4aPoint:
+        gains = np.array(samples)
+        return Fig4aPoint(
+            base_satellites=point,
+            mean_gain_hours=float(gains.mean()),
+            max_gain_hours=float(gains.max()),
+            min_gain_hours=float(gains.min()),
+        )
+
+    def finalize(
+        self, reduced: List[Fig4aPoint], config: ExperimentConfig
+    ) -> Fig4aResult:
+        return Fig4aResult(points=reduced, config=config)
+
+
+def run_fig4a(
+    config: ExperimentConfig = ExperimentConfig(),
+    base_sizes: Sequence[int] = DEFAULT_BASE_SIZES,
+) -> Fig4aResult:
+    """Run the Fig. 4a experiment (see :class:`Fig4aScenario`)."""
+    return run_scenario(Fig4aScenario(base_sizes=base_sizes), config)

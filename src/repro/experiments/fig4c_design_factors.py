@@ -15,7 +15,7 @@ the other two categories still gain over 30 minutes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.constellation.design import (
     altitude_variant,
@@ -24,9 +24,9 @@ from repro.constellation.design import (
     phase_variant,
 )
 from repro.core.placement import PlacementScorer
-from repro.experiments.common import ExperimentConfig
+from repro.experiments.common import ExperimentConfig, ExperimentContext
 from repro.ground.cities import CITIES
-from repro.obs.trace import span
+from repro.runner import RunContext, Scenario, run_scenario
 
 #: Altitude used for category 2 (the paper does not state its value; 30 km
 #: above the base keeps the satellite in the same regime while breaking the
@@ -36,6 +36,8 @@ DEFAULT_ALTITUDE_KM = 576.0
 #: Phase offset used for category 3: the midpoint between two base
 #: satellites that are 90 degrees apart (Fig. 4b showed midpoints win).
 DEFAULT_PHASE_DEG = 45.0
+
+_LABELS = ("inclination", "altitude", "phase")
 
 
 @dataclass(frozen=True)
@@ -47,28 +49,66 @@ class Fig4cResult:
         return sorted(self.gains_hours.items(), key=lambda item: -item[1])
 
 
+@dataclass
+class Fig4cScenario(Scenario):
+    """Deterministic category comparison: one point, one run, no pool."""
+
+    inclination_deg: float = 43.0
+    altitude_km: float = DEFAULT_ALTITUDE_KM
+    phase_deg: float = DEFAULT_PHASE_DEG
+
+    name = "fig4c"
+    uses_pool = False
+
+    def sweep(
+        self, config: ExperimentConfig, context: ExperimentContext
+    ) -> Sequence[str]:
+        return ["categories"]
+
+    def runs_for(self, point: str, config: ExperimentConfig) -> int:
+        return 1  # Deterministic: no Monte-Carlo repetition.
+
+    def run_one(self, ctx: RunContext, run_index: int) -> List[float]:
+        base = fig4c_base_constellation()
+        reference = base[0].elements
+        candidates = [
+            inclination_variant(reference, self.inclination_deg),
+            altitude_variant(reference, self.altitude_km),
+            phase_variant(reference, self.phase_deg),
+        ]
+        scorer = PlacementScorer(base, ctx.config.grid(), cities=CITIES)
+        scored = scorer.score(candidates)
+        return [candidate.coverage_gain_hours for candidate in scored]
+
+    def reduce(
+        self,
+        point: str,
+        point_index: int,
+        samples: List[List[float]],
+        config: ExperimentConfig,
+    ) -> Dict[str, float]:
+        (gains,) = samples
+        return dict(zip(_LABELS, gains))
+
+    def finalize(
+        self, reduced: List[Dict[str, float]], config: ExperimentConfig
+    ) -> Fig4cResult:
+        (gains_hours,) = reduced
+        return Fig4cResult(gains_hours=gains_hours, config=config)
+
+
 def run_fig4c(
     config: ExperimentConfig = ExperimentConfig(),
     inclination_deg: float = 43.0,
     altitude_km: float = DEFAULT_ALTITUDE_KM,
     phase_deg: float = DEFAULT_PHASE_DEG,
 ) -> Fig4cResult:
-    """Run the Fig. 4c category comparison (deterministic)."""
-    base = fig4c_base_constellation()
-    reference = base[0].elements
-    candidates = [
-        inclination_variant(reference, inclination_deg),
-        altitude_variant(reference, altitude_km),
-        phase_variant(reference, phase_deg),
-    ]
-    scorer = PlacementScorer(base, config.grid(), cities=CITIES)
-    with span("analysis.fig4c"):
-        scored = scorer.score(candidates)
-    labels = ("inclination", "altitude", "phase")
-    return Fig4cResult(
-        gains_hours={
-            label: candidate.coverage_gain_hours
-            for label, candidate in zip(labels, scored)
-        },
-        config=config,
+    """Run the Fig. 4c category comparison (see :class:`Fig4cScenario`)."""
+    return run_scenario(
+        Fig4cScenario(
+            inclination_deg=inclination_deg,
+            altitude_km=altitude_km,
+            phase_deg=phase_deg,
+        ),
+        config,
     )

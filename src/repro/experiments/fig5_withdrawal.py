@@ -17,11 +17,10 @@ import numpy as np
 
 from repro.experiments.common import (
     ExperimentConfig,
-    pool_visibility,
-    starlink_pool,
+    ExperimentContext,
     weighted_city_coverage_fraction,
 )
-from repro.obs.trace import span
+from repro.runner import RunContext, Scenario, run_scenario
 
 DEFAULT_SIZES: Sequence[int] = (200, 500, 1000, 2000)
 
@@ -43,40 +42,66 @@ class Fig5Result:
         return [(p.satellites, p.mean_reduction_percent) for p in self.points]
 
 
+@dataclass
+class Fig5Scenario(Scenario):
+    """Coverage reduction when a random fraction of a base withdraws."""
+
+    sizes: Sequence[int] = DEFAULT_SIZES
+    withdraw_fraction: float = 0.5
+
+    name = "fig5"
+    salt = 5
+
+    def sweep(
+        self, config: ExperimentConfig, context: ExperimentContext
+    ) -> Sequence[int]:
+        if not 0.0 < self.withdraw_fraction < 1.0:
+            raise ValueError(
+                f"withdraw fraction must be in (0, 1), got {self.withdraw_fraction}"
+            )
+        pool_size = len(context.pool())
+        for size in self.sizes:
+            if size > pool_size:
+                raise ValueError(f"size {size} exceeds pool of {pool_size}")
+        return list(self.sizes)
+
+    def run_one(self, ctx: RunContext, run_index: int) -> float:
+        visibility = ctx.visibility()
+        withdraw = int(round(self.withdraw_fraction * ctx.point))
+        base = ctx.rng.choice(ctx.pool_size(), size=ctx.point, replace=False)
+        kept = ctx.rng.permutation(base)[withdraw:]
+        before = weighted_city_coverage_fraction(visibility, base)
+        after = weighted_city_coverage_fraction(visibility, kept)
+        return float(before - after)
+
+    def reduce(
+        self,
+        point: int,
+        point_index: int,
+        samples: List[float],
+        config: ExperimentConfig,
+    ) -> Fig5Point:
+        reductions = np.array(samples)
+        horizon_hours = config.grid().duration_s / 3600.0
+        return Fig5Point(
+            satellites=point,
+            mean_reduction_percent=float(100.0 * reductions.mean()),
+            std_reduction_percent=float(100.0 * reductions.std()),
+            mean_lost_hours=float(reductions.mean() * horizon_hours),
+        )
+
+    def finalize(
+        self, reduced: List[Fig5Point], config: ExperimentConfig
+    ) -> Fig5Result:
+        return Fig5Result(points=reduced, config=config)
+
+
 def run_fig5(
     config: ExperimentConfig = ExperimentConfig(),
     sizes: Sequence[int] = DEFAULT_SIZES,
     withdraw_fraction: float = 0.5,
 ) -> Fig5Result:
-    """Run the Fig. 5 sweep over the shared visibility pool."""
-    if not 0.0 < withdraw_fraction < 1.0:
-        raise ValueError(
-            f"withdraw fraction must be in (0, 1), got {withdraw_fraction}"
-        )
-    visibility = pool_visibility(config)
-    pool_size = len(starlink_pool())
-    rng = config.rng(salt=5)
-    horizon_hours = config.grid().duration_s / 3600.0
-
-    points: List[Fig5Point] = []
-    with span("analysis.fig5"):
-        for size in sizes:
-            if size > pool_size:
-                raise ValueError(f"size {size} exceeds pool of {pool_size}")
-            withdraw = int(round(withdraw_fraction * size))
-            reductions = np.empty(config.runs)
-            for run in range(config.runs):
-                base = rng.choice(pool_size, size=size, replace=False)
-                kept = rng.permutation(base)[withdraw:]
-                before = weighted_city_coverage_fraction(visibility, base)
-                after = weighted_city_coverage_fraction(visibility, kept)
-                reductions[run] = before - after
-            points.append(
-                Fig5Point(
-                    satellites=size,
-                    mean_reduction_percent=float(100.0 * reductions.mean()),
-                    std_reduction_percent=float(100.0 * reductions.std()),
-                    mean_lost_hours=float(reductions.mean() * horizon_hours),
-                )
-            )
-    return Fig5Result(points=points, config=config)
+    """Run the Fig. 5 sweep (see :class:`Fig5Scenario`)."""
+    return run_scenario(
+        Fig5Scenario(sizes=sizes, withdraw_fraction=withdraw_fraction), config
+    )

@@ -20,11 +20,10 @@ import numpy as np
 from repro.core.party import contribution_ratio_split
 from repro.experiments.common import (
     ExperimentConfig,
-    pool_visibility,
-    starlink_pool,
+    ExperimentContext,
     weighted_city_coverage_fraction,
 )
-from repro.obs.trace import span
+from repro.runner import RunContext, Scenario, run_scenario
 
 DEFAULT_SKEWS: Sequence[int] = tuple(range(1, 11))
 DEFAULT_PARTIES = 11
@@ -49,50 +48,83 @@ class Fig6Result:
         return [(p.skew, p.mean_reduction_percent) for p in self.points]
 
 
+@dataclass
+class Fig6Scenario(Scenario):
+    """Largest-party withdrawal loss vs contribution skew.
+
+    Satellites are randomly attributed to parties per run, so the largest
+    party's holdings are a random ``counts[0]``-subset — exactly the paper's
+    random-attribution model.
+    """
+
+    skews: Sequence[int] = DEFAULT_SKEWS
+    parties: int = DEFAULT_PARTIES
+    total_satellites: int = DEFAULT_TOTAL
+
+    name = "fig6"
+    salt = 6
+
+    def sweep(
+        self, config: ExperimentConfig, context: ExperimentContext
+    ) -> Sequence[int]:
+        pool_size = len(context.pool())
+        if self.total_satellites > pool_size:
+            raise ValueError(
+                f"total {self.total_satellites} exceeds pool of {pool_size}"
+            )
+        return list(self.skews)
+
+    def _largest_party_count(self, skew: int) -> int:
+        ratios = [float(skew)] + [1.0] * (self.parties - 1)
+        return contribution_ratio_split(self.total_satellites, ratios)[0]
+
+    def run_one(self, ctx: RunContext, run_index: int) -> float:
+        visibility = ctx.visibility()
+        largest = self._largest_party_count(ctx.point)
+        base = ctx.rng.choice(
+            ctx.pool_size(), size=self.total_satellites, replace=False
+        )
+        # The first `largest` positions of a random permutation are the
+        # largest party's satellites; the rest stay.
+        shuffled = ctx.rng.permutation(base)
+        kept = shuffled[largest:]
+        before = weighted_city_coverage_fraction(visibility, base)
+        after = weighted_city_coverage_fraction(visibility, kept)
+        return float(before - after)
+
+    def reduce(
+        self,
+        point: int,
+        point_index: int,
+        samples: List[float],
+        config: ExperimentConfig,
+    ) -> Fig6Point:
+        reductions = np.array(samples)
+        horizon_hours = config.grid().duration_s / 3600.0
+        return Fig6Point(
+            skew=point,
+            largest_party_satellites=self._largest_party_count(point),
+            mean_reduction_percent=float(100.0 * reductions.mean()),
+            std_reduction_percent=float(100.0 * reductions.std()),
+            mean_lost_hours=float(reductions.mean() * horizon_hours),
+        )
+
+    def finalize(
+        self, reduced: List[Fig6Point], config: ExperimentConfig
+    ) -> Fig6Result:
+        return Fig6Result(points=reduced, config=config)
+
+
 def run_fig6(
     config: ExperimentConfig = ExperimentConfig(),
     skews: Sequence[int] = DEFAULT_SKEWS,
     parties: int = DEFAULT_PARTIES,
     total_satellites: int = DEFAULT_TOTAL,
 ) -> Fig6Result:
-    """Run the Fig. 6 sweep over the shared visibility pool.
-
-    Satellites are randomly attributed to parties per run, so the largest
-    party's holdings are a random ``counts[0]``-subset — exactly the paper's
-    random-attribution model.
-    """
-    visibility = pool_visibility(config)
-    pool_size = len(starlink_pool())
-    if total_satellites > pool_size:
-        raise ValueError(
-            f"total {total_satellites} exceeds pool of {pool_size}"
-        )
-    rng = config.rng(salt=6)
-    horizon_hours = config.grid().duration_s / 3600.0
-
-    points: List[Fig6Point] = []
-    with span("analysis.fig6"):
-        for skew in skews:
-            ratios = [float(skew)] + [1.0] * (parties - 1)
-            counts = contribution_ratio_split(total_satellites, ratios)
-            largest = counts[0]
-            reductions = np.empty(config.runs)
-            for run in range(config.runs):
-                base = rng.choice(pool_size, size=total_satellites, replace=False)
-                # The first `largest` positions of a random permutation are
-                # the largest party's satellites; the rest stay.
-                shuffled = rng.permutation(base)
-                kept = shuffled[largest:]
-                before = weighted_city_coverage_fraction(visibility, base)
-                after = weighted_city_coverage_fraction(visibility, kept)
-                reductions[run] = before - after
-            points.append(
-                Fig6Point(
-                    skew=skew,
-                    largest_party_satellites=largest,
-                    mean_reduction_percent=float(100.0 * reductions.mean()),
-                    std_reduction_percent=float(100.0 * reductions.std()),
-                    mean_lost_hours=float(reductions.mean() * horizon_hours),
-                )
-            )
-    return Fig6Result(points=points, config=config)
+    """Run the Fig. 6 sweep (see :class:`Fig6Scenario`)."""
+    return run_scenario(
+        Fig6Scenario(
+            skews=skews, parties=parties, total_satellites=total_satellites
+        ),
+        config,
+    )

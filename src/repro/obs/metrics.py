@@ -236,6 +236,37 @@ class MetricsRegistry:
                 },
             }
 
+    def merge(self, snapshot: Dict[str, Dict]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Used by the parallel Monte-Carlo runner to aggregate worker-process
+        metrics into the parent registry: counters add, gauges take the
+        incoming value when nonzero (last writer wins — gauges are
+        point-in-time; zero is also the post-reset default, so a zero
+        gauge is indistinguishable from one the worker never touched and
+        must not clobber the parent's value), and histograms merge
+        bucket-wise.  A histogram whose bucket bounds
+        disagree with an already-registered instrument of the same name is
+        skipped rather than corrupted (its name is unusual enough that this
+        only happens when two code versions meet).
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            if value != 0.0:
+                self.gauge(name).set(value)
+        for name, data in snapshot.get("histograms", {}).items():
+            if not data.get("count"):
+                continue
+            try:
+                histogram = self.histogram(name, data["buckets"])
+            except ValueError:
+                continue
+            for index, count in enumerate(data["counts"]):
+                histogram.counts[index] += count
+            histogram.sum += data["sum"]
+            histogram.count += data["count"]
+
     def reset(self) -> None:
         """Zero every instrument in place (registrations survive)."""
         with self._lock:

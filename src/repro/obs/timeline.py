@@ -102,6 +102,23 @@ class TimelineEvent:
     def stop_s(self) -> float:
         return self.t_s + self.duration_s
 
+    @classmethod
+    def from_dict(cls, record: Dict[str, Any]) -> "TimelineEvent":
+        """Rebuild an event from its :meth:`to_dict` form.
+
+        The parallel Monte-Carlo runner ships worker-process timeline
+        events to the parent as dicts; this is the receiving end (re-emit
+        the result through :func:`extend` to keep kind validation).
+        """
+        return cls(
+            t_s=float(record["t_s"]),
+            kind=record["kind"],
+            subject=record["subject"],
+            party=record.get("party", ""),
+            duration_s=float(record.get("duration_s", 0.0)),
+            attrs=dict(record.get("attrs", {})),
+        )
+
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready representation (used by reports and the exporter)."""
         record: Dict[str, Any] = {

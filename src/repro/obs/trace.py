@@ -189,6 +189,53 @@ class Tracer:
         with self._lock:
             return {name: dict(value) for name, value in sorted(self._stats.items())}
 
+    def now_s(self) -> float:
+        """Seconds since this tracer's epoch (the span time base)."""
+        return time.perf_counter() - self._epoch
+
+    def merge_snapshot(
+        self, snapshot: Dict, start_offset_s: float = 0.0
+    ) -> int:
+        """Fold another tracer's :meth:`snapshot` into this one.
+
+        The parallel Monte-Carlo runner uses this to land worker-process
+        spans in the parent's trace: record start times are shifted by
+        ``start_offset_s`` (worker snapshots are relative to the *worker's*
+        epoch, which means nothing here), aggregates are summed, and drop
+        accounting carries over.  Span-duration histograms are *not*
+        re-observed — workers already fed their own
+        ``trace.span_seconds.*`` histograms, which arrive through the
+        metrics merge instead (observing here would double-count).
+
+        Returns the number of records folded in (dropped ones included).
+        """
+        records = snapshot.get("records", [])
+        with self._lock:
+            for record in records:
+                merged = SpanRecord(
+                    name=record["name"],
+                    start_s=record["start_s"] + start_offset_s,
+                    duration_s=record["duration_s"],
+                    depth=record["depth"],
+                    parent=record.get("parent"),
+                    mem_peak_kb=record.get("mem_peak_kb"),
+                )
+                if len(self.records) < self.max_records:
+                    self.records.append(merged)
+                else:
+                    self.dropped_records += 1
+            self.dropped_records += snapshot.get("dropped_records", 0)
+            for name, other in snapshot.get("stats", {}).items():
+                stats = self._stats.get(name)
+                if stats is None:
+                    self._stats[name] = dict(other)
+                else:
+                    stats["count"] += other["count"]
+                    stats["total_s"] += other["total_s"]
+                    stats["min_s"] = min(stats["min_s"], other["min_s"])
+                    stats["max_s"] = max(stats["max_s"], other["max_s"])
+        return len(records)
+
     def memory_summary(self) -> Dict[str, Optional[float]]:
         """Peak traced memory over recorded spans (None when not sampled)."""
         with self._lock:

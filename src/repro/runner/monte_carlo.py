@@ -1,0 +1,318 @@
+"""The Monte-Carlo runner: one driver for every figure experiment.
+
+:class:`MonteCarloRunner` executes a :class:`~repro.runner.scenario.
+Scenario` — sweep axis × repetitions — either in-process or over an opt-in
+process pool (``ExperimentConfig.parallel`` / the CLI's ``--parallel N``).
+
+Determinism contract
+--------------------
+
+Results are a pure function of ``(scenario, config)``:
+
+* per-run RNGs come from order-independent seed derivation
+  (:func:`repro.runner.scenario.run_rng`), so run *i* draws the same sample
+  whether 5 or 500 runs were requested;
+* samples are reduced in (point, run) order regardless of completion
+  order, so parallel floating-point aggregation matches serial bit for bit.
+
+``--parallel N`` therefore changes wall-clock only: stdout tables, result
+objects, and figure rows are byte-identical for every N.
+
+Parallel execution
+------------------
+
+Workers are plain ``multiprocessing`` pool processes.  The packed
+visibility tensor — the ~100 MB artifact every kernel reads — is exported
+once through :mod:`multiprocessing.shared_memory`
+(:mod:`repro.runner.shared`) and installed into each worker's
+:class:`~repro.experiments.common.ExperimentContext` at pool startup, so
+spawning N workers costs N page-table mappings, not N tensor pickles.
+
+Each repetition runs inside a worker-local observability capture: its span
+records, metric deltas, and simulation-timeline events travel back with the
+sample and are folded into the parent's collectors
+(``Tracer.merge_snapshot`` / ``MetricsRegistry.merge`` /
+``timeline.extend``), so a parallel run still produces ONE run report with
+every per-run wall time in the ``trace.span_seconds.runner.run.<name>``
+histogram the bench schema records.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.common import (
+    ExperimentConfig,
+    ExperimentContext,
+    default_context,
+)
+from repro.obs import get_logger, metrics
+from repro.obs import timeline as obs_timeline
+from repro.obs import trace as obs_trace
+from repro.obs.timeline import TimelineEvent
+from repro.obs.trace import span
+from repro.runner.scenario import RunContext, Scenario, run_rng
+from repro.runner.shared import (
+    SharedVisibilityHandle,
+    attach_packed_visibility,
+    share_packed_visibility,
+    unlink_shared_visibility,
+)
+
+_LOG = get_logger(__name__)
+
+_RUNS_TOTAL = metrics.counter("runner.runs")
+_WORKERS = metrics.gauge("runner.workers")
+
+#: The synthetic pool every scenario samples from (seed of the Starlink
+#: shells); part of the visibility cache key.
+POOL_SEED = 0
+
+#: One parallel task: (point_index, run_index).
+_Task = Tuple[int, int]
+
+#: What a worker sends back per repetition: indices, the kernel's sample,
+#: its wall time, and the observability capture (trace snapshot, metrics
+#: snapshot, timeline event dicts).
+_Payload = Tuple[int, int, Any, float, Dict, Dict, List[Dict]]
+
+
+class MonteCarloRunner:
+    """Executes scenarios: sweep × repetitions, serial or process-parallel.
+
+    Args:
+        config: The experiment configuration (``config.parallel`` sets the
+            default worker count).
+        context: Artifact cache to run against (default: the process-default
+            context, so CLI/benchmark invocations share one tensor).
+        parallel: Overrides ``config.parallel`` when given.
+    """
+
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        context: Optional[ExperimentContext] = None,
+        parallel: Optional[int] = None,
+    ) -> None:
+        workers = config.parallel if parallel is None else parallel
+        if workers < 1:
+            raise ValueError(f"parallel must be >= 1, got {workers}")
+        if config.runs < 1:
+            raise ValueError(f"runs must be >= 1, got {config.runs}")
+        self.config = config
+        self.context = context if context is not None else default_context()
+        self.parallel = workers
+
+    # -- public API ---------------------------------------------------------
+
+    def run(self, scenario: Scenario) -> Any:
+        """Execute a scenario end to end; returns ``scenario.finalize(...)``."""
+        points, samples = self.collect(scenario)
+        with span(f"reduce.{scenario.name}"):
+            reduced = [
+                scenario.reduce(point, index, samples[index], self.config)
+                for index, point in enumerate(points)
+            ]
+            return scenario.finalize(reduced, self.config)
+
+    def collect(self, scenario: Scenario) -> Tuple[List[Any], List[List[Any]]]:
+        """Run every repetition; returns (points, samples per point).
+
+        Samples are ordered by run index within each point — the raw
+        material :meth:`run` reduces, exposed for tests that pin the
+        order-independence of per-run seeds.
+        """
+        points = list(scenario.sweep(self.config, self.context))
+        scenario.prepare(self.context, self.config)
+        tasks: List[_Task] = [
+            (point_index, run_index)
+            for point_index, point in enumerate(points)
+            for run_index in range(scenario.runs_for(point, self.config))
+        ]
+        workers = min(self.parallel, len(tasks))
+        _WORKERS.set(workers)
+        with span(f"analysis.{scenario.name}"):
+            if workers <= 1:
+                by_task = self._collect_serial(scenario, points, tasks)
+            else:
+                by_task = self._collect_parallel(scenario, points, tasks, workers)
+        samples: List[List[Any]] = [[] for _ in points]
+        for point_index, run_index in tasks:
+            samples[point_index].append(by_task[(point_index, run_index)])
+        return points, samples
+
+    # -- serial path ---------------------------------------------------------
+
+    def _collect_serial(
+        self, scenario: Scenario, points: List[Any], tasks: List[_Task]
+    ) -> Dict[_Task, Any]:
+        by_task: Dict[_Task, Any] = {}
+        for point_index, run_index in tasks:
+            ctx = RunContext(
+                config=self.config,
+                context=self.context,
+                point=points[point_index],
+                point_index=point_index,
+                run_index=run_index,
+                rng=run_rng(self.config.seed, scenario.salt, point_index, run_index),
+                pool_seed=POOL_SEED,
+            )
+            with span(f"runner.run.{scenario.name}"):
+                by_task[(point_index, run_index)] = scenario.run_one(ctx, run_index)
+            _RUNS_TOTAL.inc()
+        return by_task
+
+    # -- parallel path --------------------------------------------------------
+
+    def _collect_parallel(
+        self,
+        scenario: Scenario,
+        points: List[Any],
+        tasks: List[_Task],
+        workers: int,
+    ) -> Dict[_Task, Any]:
+        handle: Optional[SharedVisibilityHandle] = None
+        segment = None
+        if scenario.uses_pool:
+            segment, handle = share_packed_visibility(
+                self.context.visibility(self.config, POOL_SEED)
+            )
+        mp_context = _start_context()
+        chunksize = max(1, len(tasks) // (workers * 8))
+        _LOG.info(
+            "parallel %s: %d tasks on %d workers (chunksize %d, start=%s)",
+            scenario.name, len(tasks), workers, chunksize,
+            mp_context.get_start_method(),
+        )
+        try:
+            with mp_context.Pool(
+                processes=workers,
+                initializer=_init_worker,
+                initargs=(scenario, self.config, points, handle, POOL_SEED),
+            ) as pool:
+                payloads = pool.map(_run_task, tasks, chunksize=chunksize)
+        finally:
+            if segment is not None:
+                unlink_shared_visibility(segment)
+        return self._merge_payloads(payloads)
+
+    def _merge_payloads(self, payloads: Sequence[_Payload]) -> Dict[_Task, Any]:
+        """Fold worker observability into the parent; return samples by task.
+
+        Payloads merge in (point, run) order — not completion order — so
+        the parent's timeline and span record streams are as deterministic
+        as the serial path's.
+        """
+        by_task: Dict[_Task, Any] = {}
+        for payload in sorted(payloads, key=lambda item: (item[0], item[1])):
+            point_index, run_index, sample, wall_s, trace_snap, metric_snap, events = (
+                payload
+            )
+            by_task[(point_index, run_index)] = sample
+            # Worker span starts are relative to the worker's task-start
+            # epoch; re-base them so each task's records end "now" on the
+            # parent clock (durations — the quantity bench-compare reads —
+            # are exact either way).
+            offset = obs_trace.TRACER.now_s() - wall_s
+            obs_trace.TRACER.merge_snapshot(trace_snap, start_offset_s=offset)
+            metrics.REGISTRY.merge(metric_snap)
+            obs_timeline.extend(TimelineEvent.from_dict(event) for event in events)
+            _RUNS_TOTAL.inc()
+        return by_task
+
+
+def run_scenario(
+    scenario: Scenario,
+    config: ExperimentConfig,
+    context: Optional[ExperimentContext] = None,
+    parallel: Optional[int] = None,
+) -> Any:
+    """Convenience one-shot: build a runner and execute ``scenario``."""
+    return MonteCarloRunner(config, context=context, parallel=parallel).run(scenario)
+
+
+def _start_context():
+    """Fork where the platform offers it (cheap, inherits imports); spawn
+    otherwise.  Both work: workers receive everything through initargs and
+    the shared-memory handle, never through inherited globals."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+# -- worker-side machinery ----------------------------------------------------
+#
+# Module-level (not closures) so both fork and spawn start methods can
+# pickle/resolve them.  One _WorkerState per worker process, built once by
+# the pool initializer and reused across tasks.
+
+
+class _WorkerState:
+    __slots__ = ("scenario", "config", "points", "context", "segment", "pool_seed")
+
+    def __init__(self, scenario, config, points, context, segment, pool_seed):
+        self.scenario = scenario
+        self.config = config
+        self.points = points
+        self.context = context
+        self.segment = segment  # Keeps the shm mapping alive for the tensor.
+        self.pool_seed = pool_seed
+
+
+_WORKER: Optional[_WorkerState] = None
+
+
+def _init_worker(
+    scenario: Scenario,
+    config: ExperimentConfig,
+    points: List[Any],
+    handle: Optional[SharedVisibilityHandle],
+    pool_seed: int,
+) -> None:
+    """Pool initializer: private context, shared tensor attached (no copy)."""
+    global _WORKER
+    context = ExperimentContext()
+    segment = None
+    if handle is not None:
+        segment, visibility = attach_packed_visibility(handle)
+        context.install_visibility(config, visibility, pool_seed=pool_seed)
+    _WORKER = _WorkerState(scenario, config, points, context, segment, pool_seed)
+
+
+def _run_task(task: _Task) -> _Payload:
+    """Execute one repetition in a worker and capture its observability.
+
+    The worker's collectors are reset at task start and snapshotted at task
+    end, so the payload carries exactly this repetition's spans, metric
+    deltas, and timeline events for the parent to merge.
+    """
+    state = _WORKER
+    if state is None:  # pragma: no cover - initializer always ran
+        raise RuntimeError("worker used before _init_worker")
+    point_index, run_index = task
+    obs_trace.TRACER.reset()
+    metrics.REGISTRY.reset()
+    obs_timeline.TIMELINE.reset()
+    ctx = RunContext(
+        config=state.config,
+        context=state.context,
+        point=state.points[point_index],
+        point_index=point_index,
+        run_index=run_index,
+        rng=run_rng(state.config.seed, state.scenario.salt, point_index, run_index),
+        pool_seed=state.pool_seed,
+    )
+    start = time.perf_counter()
+    with span(f"runner.run.{state.scenario.name}"):
+        sample = state.scenario.run_one(ctx, run_index)
+    wall_s = time.perf_counter() - start
+    return (
+        point_index,
+        run_index,
+        sample,
+        wall_s,
+        obs_trace.TRACER.snapshot(),
+        metrics.REGISTRY.snapshot(),
+        obs_timeline.TIMELINE.snapshot()["events"],
+    )

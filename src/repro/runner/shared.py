@@ -1,0 +1,132 @@
+"""Zero-copy visibility sharing for parallel Monte-Carlo workers.
+
+The packed visibility tensor of the full synthetic Starlink pool is the one
+big experiment artifact (~100 MB for a week at 60 s steps).  Pickling it to
+every worker process would dominate parallel startup and multiply resident
+memory by the worker count; instead the parent copies the packed bytes into
+a :mod:`multiprocessing.shared_memory` segment once, and every worker maps
+the same physical pages read-only-by-convention:
+
+    parent:  shm, handle = share_packed_visibility(visibility)
+    worker:  shm, visibility = attach_packed_visibility(handle)   # no copy
+
+The :class:`SharedVisibilityHandle` is a tiny picklable descriptor (name +
+shape + grid); the segment itself never crosses the pipe.  The parent owns
+the segment's lifetime: close+unlink in a ``finally`` via
+:func:`unlink_shared_visibility` once the pool has joined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Tuple
+
+import numpy as np
+
+from repro.obs import get_logger
+from repro.sim.clock import TimeGrid
+from repro.sim.visibility import PackedVisibility
+
+_LOG = get_logger(__name__)
+
+
+@dataclass(frozen=True)
+class SharedVisibilityHandle:
+    """Picklable descriptor of a shared packed-visibility segment."""
+
+    shm_name: str
+    shape: Tuple[int, int, int]  # (sites, satellites, packed bytes)
+    n_times: int
+    grid: TimeGrid
+
+    @property
+    def nbytes(self) -> int:
+        sites, sats, packed_bytes = self.shape
+        return sites * sats * packed_bytes
+
+
+def share_packed_visibility(
+    visibility: PackedVisibility,
+) -> Tuple[shared_memory.SharedMemory, SharedVisibilityHandle]:
+    """Copy a tensor into shared memory; returns (segment, handle).
+
+    The caller (the parent process) keeps the segment object alive while
+    workers run and must close+unlink it afterwards
+    (:func:`unlink_shared_visibility`).
+    """
+    packed = np.ascontiguousarray(visibility.packed)
+    segment = shared_memory.SharedMemory(create=True, size=packed.nbytes)
+    view = np.ndarray(packed.shape, dtype=np.uint8, buffer=segment.buf)
+    view[:] = packed
+    handle = SharedVisibilityHandle(
+        shm_name=segment.name,
+        shape=tuple(packed.shape),
+        n_times=visibility.n_times,
+        grid=visibility.grid,
+    )
+    _LOG.info(
+        "shared visibility tensor %s: %.1f MB, shape %s",
+        segment.name, packed.nbytes / 1e6, packed.shape,
+    )
+    return segment, handle
+
+
+def attach_packed_visibility(
+    handle: SharedVisibilityHandle,
+) -> Tuple[shared_memory.SharedMemory, PackedVisibility]:
+    """Map an existing segment into this process; returns (segment, tensor).
+
+    The worker must keep the returned segment object referenced for as long
+    as the tensor is in use (the numpy array is a view into its buffer) and
+    should ``close()`` it at shutdown — never ``unlink()``: the parent owns
+    the segment.
+    """
+    segment = _attach_untracked(handle.shm_name)
+    packed = np.ndarray(handle.shape, dtype=np.uint8, buffer=segment.buf)
+    visibility = PackedVisibility(packed, handle.n_times, handle.grid)
+    return segment, visibility
+
+
+def unlink_shared_visibility(segment: shared_memory.SharedMemory) -> None:
+    """Release a parent-owned segment (idempotent best effort)."""
+    try:
+        segment.close()
+    except OSError:
+        pass
+    try:
+        segment.unlink()
+    except FileNotFoundError:
+        pass
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without resource-tracker registration.
+
+    On POSIX, a process that merely *attaches* (create=False) still
+    registers the segment with the resource tracker, which then unlinks it
+    when any attacher exits — yanking the memory out from under the parent
+    and every sibling worker, with "leaked shared_memory" noise for flavour
+    (CPython issue bpo-38119).  Only the creating parent should own
+    cleanup.  Python 3.13 grew ``track=False`` for exactly this; on older
+    versions, suppress shared-memory registration for the duration of the
+    attach (workers attach serially from the pool initializer, and the
+    suppression window contains no other allocation).
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track parameter.
+        pass
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+
+    def _skip_shared_memory(rname: str, rtype: str) -> None:
+        if rtype != "shared_memory":
+            original(rname, rtype)
+
+    resource_tracker.register = _skip_shared_memory
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original

@@ -1,0 +1,145 @@
+"""Tests for the cross-process observability merge primitives.
+
+The parallel Monte-Carlo runner ships each worker run's trace snapshot,
+metrics snapshot, and timeline events back to the parent and folds them in;
+these tests pin the fold semantics the runner relies on.
+"""
+
+import time
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeline import TimelineEvent
+from repro.obs.trace import Tracer
+
+
+def _worker_tracer_with_spans():
+    worker = Tracer()
+    for _ in range(2):
+        with worker.span("kernel"):
+            time.sleep(0.001)
+    return worker
+
+
+class TestTracerMerge:
+    def test_stats_fold_in(self):
+        worker = _worker_tracer_with_spans()
+        parent = Tracer()
+        with parent.span("kernel"):
+            time.sleep(0.001)
+        own_total = parent.stats()["kernel"]["total_s"]
+        merged = parent.merge_snapshot(worker.snapshot())
+        assert merged == 2
+        stats = parent.stats()["kernel"]
+        worker_stats = worker.stats()["kernel"]
+        assert stats["count"] == 3
+        assert stats["total_s"] == pytest.approx(
+            own_total + worker_stats["total_s"]
+        )
+        assert stats["min_s"] <= worker_stats["min_s"]
+        assert stats["max_s"] >= worker_stats["max_s"]
+
+    def test_new_names_appear(self):
+        worker = _worker_tracer_with_spans()
+        parent = Tracer()
+        parent.merge_snapshot(worker.snapshot())
+        assert parent.stats()["kernel"]["count"] == 2
+
+    def test_records_shift_by_offset(self):
+        worker = _worker_tracer_with_spans()
+        parent = Tracer()
+        offset = 123.0
+        parent.merge_snapshot(worker.snapshot(), start_offset_s=offset)
+        starts = [record.start_s for record in parent.records]
+        worker_starts = [record.start_s for record in worker.records]
+        assert starts == pytest.approx([s + offset for s in worker_starts])
+
+    def test_record_cap_counts_drops(self):
+        worker = _worker_tracer_with_spans()
+        parent = Tracer(max_records=1)
+        parent.merge_snapshot(worker.snapshot())
+        assert len(parent.records) == 1
+        assert parent.dropped_records == 1
+
+    def test_worker_drops_carry_over(self):
+        worker = _worker_tracer_with_spans()
+        snapshot = worker.snapshot()
+        snapshot["dropped_records"] = 7
+        parent = Tracer()
+        parent.merge_snapshot(snapshot)
+        assert parent.dropped_records == 7
+
+    def test_now_s_advances(self):
+        tracer = Tracer()
+        first = tracer.now_s()
+        time.sleep(0.001)
+        assert tracer.now_s() > first
+
+
+class TestMetricsMerge:
+    def test_counters_add(self):
+        worker, parent = MetricsRegistry(), MetricsRegistry()
+        worker.counter("runs").inc(5)
+        parent.counter("runs").inc(2)
+        parent.merge(worker.snapshot())
+        assert parent.counter("runs").value == 7
+
+    def test_gauges_take_incoming_value(self):
+        worker, parent = MetricsRegistry(), MetricsRegistry()
+        worker.gauge("depth").set(3.0)
+        parent.gauge("depth").set(9.0)
+        parent.merge(worker.snapshot())
+        assert parent.gauge("depth").value == 3.0
+
+    def test_untouched_zero_gauges_do_not_clobber(self):
+        """A reset-but-never-set worker gauge must not zero the parent's."""
+        worker, parent = MetricsRegistry(), MetricsRegistry()
+        worker.gauge("depth")  # Registered, left at the reset default.
+        parent.gauge("depth").set(9.0)
+        parent.merge(worker.snapshot())
+        assert parent.gauge("depth").value == 9.0
+
+    def test_histograms_merge_bucketwise(self):
+        worker, parent = MetricsRegistry(), MetricsRegistry()
+        for value in (0.002, 0.02, 5.0):
+            worker.histogram("wall").observe(value)
+        parent.histogram("wall").observe(0.002)
+        parent.merge(worker.snapshot())
+        merged = parent.histogram("wall")
+        assert merged.count == 4
+        assert merged.sum == pytest.approx(0.002 + 0.02 + 5.0 + 0.002)
+        assert sum(merged.counts) == 4
+
+    def test_zero_count_histograms_skipped(self):
+        worker, parent = MetricsRegistry(), MetricsRegistry()
+        worker.histogram("idle")  # Registered but never observed.
+        parent.merge(worker.snapshot())
+        assert parent.snapshot()["histograms"] == {}
+
+    def test_mismatched_buckets_skipped_not_corrupted(self):
+        worker, parent = MetricsRegistry(), MetricsRegistry()
+        worker.histogram("wall", buckets=(1.0, 2.0)).observe(1.5)
+        parent.histogram("wall", buckets=(10.0, 20.0)).observe(15.0)
+        parent.merge(worker.snapshot())
+        untouched = parent.histogram("wall")
+        assert untouched.count == 1
+        assert untouched.sum == pytest.approx(15.0)
+
+
+class TestTimelineEventFromDict:
+    def test_round_trip(self):
+        event = TimelineEvent(
+            t_s=120.0, kind="handover", subject="taipei-term",
+            party="p1", duration_s=0.0, attrs={"from": "s1", "to": "s2"},
+        )
+        assert TimelineEvent.from_dict(event.to_dict()) == event
+
+    def test_missing_optionals_default(self):
+        event = TimelineEvent.from_dict(
+            {"t_s": 1, "kind": "gap.open", "subject": "Taipei"}
+        )
+        assert event.party == ""
+        assert event.duration_s == 0.0
+        assert event.attrs == {}
+        assert event.t_s == 1.0

@@ -1,0 +1,96 @@
+"""Tests for shared-memory visibility transport (parent-side round trip)."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.runner.shared import (
+    SharedVisibilityHandle,
+    attach_packed_visibility,
+    share_packed_visibility,
+    unlink_shared_visibility,
+)
+from repro.sim.clock import TimeGrid
+from repro.sim.visibility import PackedVisibility
+
+
+def _tiny_visibility(seed: int = 0) -> PackedVisibility:
+    """A small random tensor: 3 sites x 5 satellites x 20 samples."""
+    rng = np.random.default_rng(seed)
+    grid = TimeGrid(duration_s=20 * 60.0, step_s=60.0)
+    n_times = grid.count
+    bits = rng.random((3, 5, n_times)) < 0.3
+    packed = np.packbits(bits, axis=2)
+    return PackedVisibility(packed, n_times, grid)
+
+
+class TestShareAttachRoundTrip:
+    def test_attached_tensor_is_equal(self):
+        visibility = _tiny_visibility()
+        segment, handle = share_packed_visibility(visibility)
+        try:
+            attached_segment, attached = attach_packed_visibility(handle)
+            try:
+                assert np.array_equal(attached.packed, visibility.packed)
+                assert attached.n_times == visibility.n_times
+                assert attached.grid == visibility.grid
+                # Same coverage reductions through the shared pages.
+                assert np.array_equal(
+                    attached.site_mask(0), visibility.site_mask(0)
+                )
+            finally:
+                attached_segment.close()
+        finally:
+            unlink_shared_visibility(segment)
+
+    def test_attach_is_a_view_not_a_copy(self):
+        visibility = _tiny_visibility()
+        segment, handle = share_packed_visibility(visibility)
+        try:
+            attached_segment, attached = attach_packed_visibility(handle)
+            try:
+                # Writing through the segment is visible in the view: the
+                # attached array aliases the shared buffer.
+                original = attached.packed[0, 0, 0]
+                segment.buf[0] = int(original) ^ 0xFF
+                assert attached.packed[0, 0, 0] == int(original) ^ 0xFF
+            finally:
+                attached_segment.close()
+        finally:
+            unlink_shared_visibility(segment)
+
+    def test_handle_is_picklable_and_small(self):
+        visibility = _tiny_visibility()
+        segment, handle = share_packed_visibility(visibility)
+        try:
+            payload = pickle.dumps(handle)
+            # The whole point: the handle crosses the pipe, the tensor
+            # does not.
+            assert len(payload) < 10 * handle.nbytes + 4096
+            restored = pickle.loads(payload)
+            assert restored == handle
+            assert restored.shape == tuple(visibility.packed.shape)
+        finally:
+            unlink_shared_visibility(segment)
+
+    def test_handle_nbytes(self):
+        handle = SharedVisibilityHandle(
+            shm_name="x", shape=(3, 5, 4), n_times=20,
+            grid=TimeGrid(duration_s=1200.0, step_s=60.0),
+        )
+        assert handle.nbytes == 3 * 5 * 4
+
+
+class TestUnlink:
+    def test_unlink_is_idempotent(self):
+        segment, _ = share_packed_visibility(_tiny_visibility())
+        unlink_shared_visibility(segment)
+        unlink_shared_visibility(segment)  # Second call must not raise.
+
+    def test_attach_after_unlink_fails(self):
+        visibility = _tiny_visibility()
+        segment, handle = share_packed_visibility(visibility)
+        unlink_shared_visibility(segment)
+        with pytest.raises(FileNotFoundError):
+            attach_packed_visibility(handle)

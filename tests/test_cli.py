@@ -31,6 +31,29 @@ class TestParser:
         assert args.step == 600.0
         assert args.seed == 1
 
+    def test_parallel_defaults_to_one(self):
+        args = build_parser().parse_args(["fig2"])
+        assert args.parallel == 1
+
+    def test_parallel_flag_parses(self):
+        args = build_parser().parse_args(["fig3", "--parallel", "4"])
+        assert args.parallel == 4
+
+    def test_parallel_flows_into_config(self):
+        from repro.cli import _config_from_args
+
+        args = build_parser().parse_args(["fig2", "--parallel", "2"])
+        assert _config_from_args(args).parallel == 2
+
+    @pytest.mark.parametrize("flag", ["--parallel", "--runs"])
+    @pytest.mark.parametrize("bad", ["0", "-1", "two"])
+    def test_positive_int_flags_rejected_at_parse_time(self, flag, bad, capsys):
+        """Bad --runs/--parallel values must exit 2, never traceback."""
+        with pytest.raises(SystemExit) as exc_info:
+            build_parser().parse_args(["fig2", flag, bad])
+        assert exc_info.value.code == 2
+        assert "python -m repro list" in capsys.readouterr().err
+
     def test_observability_flags_parse(self):
         args = build_parser().parse_args(
             [
@@ -100,8 +123,25 @@ class TestMain:
     def test_list_mentions_observability_flags(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out
-        for flag in ("--log-level", "--metrics-out", "--profile", "--duration"):
+        for flag in (
+            "--log-level", "--metrics-out", "--profile", "--duration",
+            "--parallel",
+        ):
             assert flag in out
+
+    def test_parallel_worker_count_lands_in_run_report(self, capsys, tmp_path):
+        """--parallel plumbs into ExperimentConfig and the run report."""
+        import json
+
+        path = tmp_path / "run.json"
+        assert main(
+            [
+                "fig4c", "--runs", "1", "--step", "600",
+                "--parallel", "2", "--metrics-out", str(path),
+            ]
+        ) == 0
+        report = json.loads(path.read_text())
+        assert report["config"]["parallel"] == 2
 
     def test_fig4c_runs(self, capsys):
         """fig4c is the cheapest experiment (no pool propagation)."""
