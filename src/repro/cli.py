@@ -16,12 +16,17 @@ report with span timings, counters, and the exact configuration + seed.
 ``--trace-out`` additionally writes a Chrome trace-event file of the run's
 spans and simulation timeline, loadable in Perfetto (https://ui.perfetto.dev).
 
-Beyond the figures there is one utility subcommand::
+Beyond the figures there are two utility subcommands::
 
     python -m repro bench-compare BENCH_A.json BENCH_B.json [--threshold 1.25]
+    python -m repro validate [--quick|--full] [--update-goldens] [--report FILE]
 
-which diffs two benchmark records (see benchmarks/) and exits non-zero on a
-wall-clock regression past the threshold.
+``bench-compare`` diffs two benchmark records (see benchmarks/) and exits
+non-zero on a wall-clock regression past the threshold.  ``validate`` runs
+the differential oracle suite, the seeded property-fuzz harness, and the
+golden-figure regression gates (see :mod:`repro.validate`), exiting
+non-zero on any red check; ``--report`` writes the schema'd validation
+verdicts inside an observability run report.
 """
 
 from __future__ import annotations
@@ -331,7 +336,69 @@ def build_parser() -> argparse.ArgumentParser:
         "--report-only", action="store_true",
         help="print the comparison but always exit 0",
     )
+
+    validate = subparsers.add_parser(
+        "validate",
+        help="run oracle cross-checks, property fuzzing, and golden gates",
+    )
+    tier = validate.add_mutually_exclusive_group()
+    tier.add_argument(
+        "--quick", dest="mode", action="store_const", const="quick",
+        help="CI-sized tier: coarse oracles, few fuzz trials (default)",
+    )
+    tier.add_argument(
+        "--full", dest="mode", action="store_const", const="full",
+        help="pre-merge tier for perf PRs: fine oracles, many fuzz trials",
+    )
+    validate.set_defaults(mode="quick")
+    validate.add_argument(
+        "--update-goldens", action="store_true",
+        help="rewrite the committed golden snapshots from this run "
+        "(review the JSON diff before committing)",
+    )
+    validate.add_argument(
+        "--seed", type=int, default=None, metavar="N",
+        help="root seed of the oracle/fuzz streams (default: 2024; the "
+        "goldens always use their own committed configuration)",
+    )
+    validate.add_argument(
+        "--report", default=None, metavar="FILE",
+        help="write an observability run report with the validation "
+        "verdicts under extra.validation",
+    )
+    validate.add_argument(
+        "--log-level", default=None, metavar="LEVEL", type=str.upper,
+        choices=("DEBUG", "INFO", "WARNING", "ERROR", "CRITICAL"),
+        help="diagnostic log level (default: WARNING, or REPRO_LOG)",
+    )
     return parser
+
+
+def _run_validate(args: argparse.Namespace) -> int:
+    from repro.validate import DEFAULT_SEED, render_validation_report, run_validation
+    from repro.validate.goldens import GOLDEN_CONFIG
+
+    seed = DEFAULT_SEED if args.seed is None else args.seed
+    with span("validate"):
+        report = run_validation(
+            mode=args.mode, seed=seed, update_goldens=args.update_goldens
+        )
+    render_validation_report(report)
+    if args.report:
+        parent = os.path.dirname(os.path.abspath(args.report))
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        document = write_run_report(
+            args.report,
+            command="validate",
+            config=GOLDEN_CONFIG,
+            extra={"validation": report.to_dict()},
+        )
+        _LOG.info(
+            "validation report written to %s (%d checks, %d spans)",
+            args.report, len(report.checks), len(document["spans"]),
+        )
+    return 0 if report.ok else 1
 
 
 def _run_list() -> int:
@@ -345,6 +412,11 @@ def _run_list() -> int:
     print("observability flags:")
     for flag, description in OBSERVABILITY_FLAGS:
         print(f"  {flag:14s}{description}")
+    print()
+    print(
+        "utility subcommands: bench-compare (perf gate), "
+        "validate --quick|--full [--update-goldens] (correctness gate)"
+    )
     return 0
 
 
@@ -367,6 +439,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             min_wall_s=args.min_wall_s,
             report_only=args.report_only,
         )
+
+    if args.command == "validate":
+        configure_logging(args.log_level)
+        return _run_validate(args)
 
     configure_logging(args.log_level)
     config = _config_from_args(args)

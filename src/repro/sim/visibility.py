@@ -257,10 +257,23 @@ class PackedVisibility:
     def n_satellites(self) -> int:
         return self.packed.shape[1]
 
+    @staticmethod
+    def _as_index_array(indices) -> np.ndarray:
+        """Normalize a selection to an integer index array.
+
+        A plain empty list arrives as a float64 array, which numpy rejects
+        as an index; coerce empty selections to an integer dtype so "select
+        nothing" is a valid (zero-result) query rather than an IndexError.
+        """
+        array = np.asarray(indices)
+        if array.size == 0:
+            return np.empty(0, dtype=np.intp)
+        return array
+
     def _subset(self, sat_indices) -> np.ndarray:
         if sat_indices is None:
             return self.packed
-        return self.packed[:, np.asarray(sat_indices), :]
+        return self.packed[:, self._as_index_array(sat_indices), :]
 
     def site_mask(self, site_index: int, sat_indices=None) -> np.ndarray:
         """Boolean coverage mask (T,) of one site under a satellite subset."""
@@ -290,9 +303,9 @@ class PackedVisibility:
     def _subset2(self, sat_indices, site_indices) -> np.ndarray:
         rows = self.packed
         if site_indices is not None:
-            rows = rows[np.asarray(site_indices)]
+            rows = rows[self._as_index_array(site_indices)]
         if sat_indices is not None:
-            rows = rows[:, np.asarray(sat_indices), :]
+            rows = rows[:, self._as_index_array(sat_indices), :]
         return rows
 
     def satellite_active_fractions(
@@ -301,17 +314,23 @@ class PackedVisibility:
         """Active fraction per satellite (any selected site visible).
 
         ``site_indices`` restricts which sites count as demand (the Fig. 3
-        sweep serves the top-k cities only); default is all sites.
+        sweep serves the top-k cities only); default is all sites.  An empty
+        site selection means no demand anywhere: every satellite's active
+        fraction is zero.
         """
         rows = self._subset2(sat_indices, site_indices)
+        if rows.shape[0] == 0 or rows.shape[1] == 0:
+            return np.zeros(rows.shape[1])
         packed_or = np.bitwise_or.reduce(rows, axis=0)  # (N_subset, bytes)
         counts = _POPCOUNT[packed_or].sum(axis=1)
         return counts / float(self.n_times)
 
     def satellite_masks(self, sat_indices=None, site_indices=None) -> np.ndarray:
         """Boolean activity masks (N_subset, T): any selected site sees the
-        satellite."""
+        satellite.  An empty site selection yields all-False masks."""
         rows = self._subset2(sat_indices, site_indices)
+        if rows.shape[0] == 0 or rows.shape[1] == 0:
+            return np.zeros((rows.shape[1], self.n_times), dtype=bool)
         packed_or = np.bitwise_or.reduce(rows, axis=0)
         return np.unpackbits(packed_or, axis=1)[:, : self.n_times].astype(bool)
 

@@ -1,0 +1,47 @@
+"""repro.validate — the simulator's trust anchor.
+
+Differential testing infrastructure that lets every fast path in the
+repository be checked against a slow-but-exact oracle, plus seeded
+property fuzzing of physical invariants and golden-figure regression
+gates.  ``python -m repro validate [--quick|--full]`` runs all of it; any
+PR that optimizes a hot path (float32 kernels, caches, sharding) is
+expected to cite a green ``repro validate --full`` run.
+
+* :mod:`repro.validate.oracles` — scalar-vs-batch propagation,
+  topocentric-vs-shortcut visibility (edge-budgeted), packed-vs-unpacked
+  reductions.
+* :mod:`repro.validate.fuzz` — the stdlib-only seeded property harness
+  and its invariant registry.
+* :mod:`repro.validate.goldens` — committed fixed-seed snapshots of all
+  nine figure experiments with explicit tolerances.
+* :mod:`repro.validate.runner` — quick/full profiles, orchestration, and
+  the stdout summary.
+* :mod:`repro.validate.result` — :class:`CheckResult` /
+  :class:`ValidationReport` and the report schema.
+"""
+
+from repro.validate.result import (
+    VALIDATION_SCHEMA_VERSION,
+    CheckResult,
+    ValidationReport,
+    validate_validation_report,
+)
+from repro.validate.runner import (
+    DEFAULT_SEED,
+    PROFILES,
+    ValidationProfile,
+    render_validation_report,
+    run_validation,
+)
+
+__all__ = [
+    "CheckResult",
+    "DEFAULT_SEED",
+    "PROFILES",
+    "VALIDATION_SCHEMA_VERSION",
+    "ValidationProfile",
+    "ValidationReport",
+    "render_validation_report",
+    "run_validation",
+    "validate_validation_report",
+]

@@ -1,0 +1,301 @@
+"""Differential oracle cross-checks: fast paths vs slow-but-exact references.
+
+Three cross-checks, each pitting an optimized implementation the figures
+depend on against an independent formulation of the same physics:
+
+* :func:`check_propagator_agreement` — the vectorized
+  :class:`~repro.orbits.propagator.BatchPropagator` (including its
+  circular fast path) against the scalar
+  :class:`~repro.orbits.propagator.J2Propagator`, position-by-position
+  over randomized element sets.
+* :func:`check_visibility_oracle` — the spherical-geometry cos-threshold
+  shortcut of :class:`~repro.sim.visibility.VisibilityEngine` against the
+  exact topocentric elevation of :func:`repro.orbits.topocentric.
+  elevation_deg`, with a quantified edge-disagreement budget: the two
+  formulations are algebraically equivalent, so any disagreement must sit
+  on a contact edge (a floating-point tie at the threshold crossing) and
+  span at most ``edge_budget_steps`` samples.
+* :func:`check_packed_agreement` — every reduction of
+  :class:`~repro.sim.visibility.PackedVisibility` (site masks, coverage
+  fractions, satellite activity, with and without satellite/site subset
+  restrictions) against plain boolean reductions of the unpacked tensor.
+  Bit packing is lossless, so agreement is exact, not approximate.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.obs import get_logger
+from repro.orbits.frames import eci_to_ecef, gmst_rad
+from repro.orbits.propagator import BatchPropagator, J2Propagator
+from repro.orbits.topocentric import elevation_deg
+from repro.sim.clock import TimeGrid
+from repro.sim.visibility import (
+    VisibilityEngine,
+    packed_visibility,
+)
+from repro.validate import gen
+from repro.validate.result import CheckResult, failed, passed
+
+_LOG = get_logger(__name__)
+
+
+def check_propagator_agreement(
+    seed: int,
+    n_satellites: int = 16,
+    duration_s: float = 86_400.0,
+    step_s: float = 1_800.0,
+    max_eccentricity: float = gen.MAX_DOMAIN_ECCENTRICITY,
+    max_error_m: float = 1.0,
+) -> CheckResult:
+    """Scalar-vs-batch propagator state agreement on random element sets.
+
+    Propagates the same randomized elements through both implementations
+    over ``duration_s`` (default: the 24 h acceptance horizon) and fails if
+    any position differs by ``max_error_m`` or more.  Two batches run: an
+    all-circular one (pinning the batch fast path, which skips the Kepler
+    solve entirely) and a mixed circular/eccentric one (pinning the general
+    path against the scalar reference).
+    """
+    times = TimeGrid(duration_s=duration_s, step_s=step_s).times_s
+    worst_error_m = 0.0
+    worst_batch = None
+    for batch_name, eccentricity_ceiling in (
+        ("circular", 0.0),
+        ("mixed", max_eccentricity),
+    ):
+        rng = gen.trial_rng(seed, 1, 0 if eccentricity_ceiling == 0.0 else 1)
+        elements = gen.random_elements(rng, n_satellites, eccentricity_ceiling)
+        batch_positions = BatchPropagator(elements).positions_eci(times)
+        scalar_positions = np.empty_like(batch_positions)
+        for sat, element in enumerate(elements):
+            propagator = J2Propagator(element)
+            for t, time_s in enumerate(times):
+                scalar_positions[sat, t] = propagator.position_eci(time_s)
+        error_m = float(
+            np.linalg.norm(batch_positions - scalar_positions, axis=-1).max()
+        )
+        if error_m > worst_error_m:
+            worst_error_m, worst_batch = error_m, batch_name
+    details = {
+        "satellites": n_satellites,
+        "times": int(times.size),
+        "duration_s": duration_s,
+        "max_error_m": worst_error_m,
+        "threshold_m": max_error_m,
+        "worst_batch": worst_batch,
+    }
+    if worst_error_m < max_error_m:
+        return passed("oracle.propagator", **details)
+    return failed("oracle.propagator", **details)
+
+
+def _max_run_length(mask: np.ndarray) -> int:
+    """Longest run of consecutive True along the last axis, over all rows."""
+    if not mask.any():
+        return 0
+    run = np.zeros(mask.shape[:-1], dtype=np.int64)
+    longest = 0
+    for t in range(mask.shape[-1]):
+        run = np.where(mask[..., t], run + 1, 0)
+        longest = max(longest, int(run.max()))
+    return longest
+
+
+def _edge_adjacent(*masks: np.ndarray) -> np.ndarray:
+    """Samples adjacent to a transition in any of the given boolean masks.
+
+    A sample t is edge-adjacent when some mask changes value between t-1
+    and t or between t and t+1; the first and last grid samples are always
+    edge-adjacent (a contact truncated by the horizon has its edge outside
+    the grid).
+    """
+    shape = masks[0].shape
+    near = np.zeros(shape, dtype=bool)
+    for mask in masks:
+        transitions = mask[..., :-1] != mask[..., 1:]
+        near[..., :-1] |= transitions
+        near[..., 1:] |= transitions
+    near[..., 0] = True
+    near[..., -1] = True
+    return near
+
+
+def check_visibility_oracle(
+    seed: int,
+    n_satellites: int = 24,
+    n_sites: int = 6,
+    duration_s: float = 21_600.0,
+    step_s: float = 60.0,
+    edge_budget_steps: int = 1,
+    sites: Optional[Sequence] = None,
+    elements: Optional[Sequence] = None,
+) -> CheckResult:
+    """Exact topocentric elevation vs the cos-threshold visibility shortcut.
+
+    Both formulations are exact on the same spherical geometry (the
+    threshold identity ``el >= mask  <=>  dot(unit_site, unit_sat) >=
+    cos(psi)`` is an algebraic rewrite, and for the circular orbits used
+    here the shortcut's semi-major-axis radius equals the true radius), so
+    they may only disagree where floating-point rounding breaks a tie at
+    the threshold — i.e. exactly at a contact edge.  The check therefore
+    asserts two things about the disagreement set:
+
+    * every disagreeing sample is adjacent to a visibility transition in
+      one of the two masks (no interior disagreement ever), and
+    * no edge contributes more than ``edge_budget_steps`` consecutive
+      disagreeing samples (the budget is in units of the time step: a
+      tie can shift a contact boundary by at most one sampling instant
+      per step of budget).
+    """
+    rng = gen.trial_rng(seed, 2)
+    if elements is None:
+        elements = gen.random_elements(rng, n_satellites, max_eccentricity=0.0)
+    if sites is None:
+        sites = gen.random_sites(rng, n_sites)
+    grid = TimeGrid(duration_s=duration_s, step_s=step_s)
+    propagator = BatchPropagator(list(elements))
+
+    shortcut = VisibilityEngine(grid).visibility(propagator, list(sites))
+
+    theta = gmst_rad(grid.times_s, grid.gmst_at_epoch_rad)
+    sat_ecef = eci_to_ecef(propagator.positions_eci(grid.times_s), theta)
+    exact = np.empty_like(shortcut)
+    for s, site in enumerate(sites):
+        elevations = elevation_deg(site.position_ecef, sat_ecef)  # (N, T)
+        exact[s] = elevations >= site.min_elevation_deg
+
+    disagree = shortcut ^ exact
+    interior = disagree & ~_edge_adjacent(exact, shortcut)
+    longest_run = _max_run_length(disagree)
+    details = {
+        "sites": len(sites),
+        "satellites": propagator.count,
+        "samples": int(grid.count),
+        "step_s": step_s,
+        "disagreeing_samples": int(disagree.sum()),
+        "interior_disagreements": int(interior.sum()),
+        "max_disagreement_run_steps": longest_run,
+        "edge_budget_steps": edge_budget_steps,
+    }
+    if interior.any() or longest_run > edge_budget_steps:
+        return failed("oracle.visibility", **details)
+    return passed("oracle.visibility", **details)
+
+
+def _unpacked_reductions_match(
+    packed, visible: np.ndarray, sat_indices, site_indices
+) -> List[str]:
+    """Compare every PackedVisibility reduction against boolean reductions.
+
+    Returns a list of mismatch descriptions (empty = exact agreement).
+    ``visible`` is the unpacked (S, N, T) boolean tensor the packed form
+    was built from.
+    """
+    mismatches: List[str] = []
+    # The packed methods get the selections verbatim (including plain empty
+    # lists) to exercise their own index normalization; the numpy reference
+    # indexing below needs an integer dtype for empty selections.
+    sat_ref = None if sat_indices is None else np.asarray(sat_indices, dtype=np.intp)
+    site_ref = (
+        None if site_indices is None else np.asarray(site_indices, dtype=np.intp)
+    )
+    subset = visible if sat_ref is None else visible[:, sat_ref, :]
+    restricted = subset if site_ref is None else subset[site_ref]
+
+    # Per-site union masks and coverage fractions under the satellite subset.
+    expect_site_masks = subset.any(axis=1)
+    if not np.array_equal(packed.site_masks(sat_indices), expect_site_masks):
+        mismatches.append("site_masks")
+    for site in range(visible.shape[0]):
+        if not np.array_equal(
+            packed.site_mask(site, sat_indices), expect_site_masks[site]
+        ):
+            mismatches.append(f"site_mask[{site}]")
+    if not np.array_equal(
+        packed.coverage_fractions(sat_indices),
+        expect_site_masks.mean(axis=1) if expect_site_masks.size
+        else np.zeros(visible.shape[0]),
+    ):
+        mismatches.append("coverage_fractions")
+
+    # Per-satellite activity under both subset axes.
+    n_subset = restricted.shape[1]
+    if restricted.shape[0] == 0 or n_subset == 0:
+        expect_sat_masks = np.zeros((n_subset, visible.shape[2]), dtype=bool)
+    else:
+        expect_sat_masks = restricted.any(axis=0)
+    if not np.array_equal(
+        packed.satellite_masks(sat_indices, site_indices), expect_sat_masks
+    ):
+        mismatches.append("satellite_masks")
+    if not np.array_equal(
+        packed.satellite_active_fractions(sat_indices, site_indices),
+        expect_sat_masks.mean(axis=1) if expect_sat_masks.size
+        else np.zeros(n_subset),
+    ):
+        mismatches.append("satellite_active_fractions")
+    return mismatches
+
+
+def check_packed_agreement(
+    seed: int,
+    n_satellites: int = 40,
+    n_sites: int = 7,
+    duration_s: float = 10_800.0,
+    step_s: float = 60.0,
+    n_subsets: int = 8,
+) -> CheckResult:
+    """Packed vs unpacked boolean reductions, exact equality.
+
+    Builds one boolean visibility tensor and its bit-packed twin, then
+    replays every reduction the experiments use — full pool, random
+    satellite subsets, random site restrictions, empty and singleton
+    selections — demanding bit-exact agreement.  Deliberately includes a
+    non-multiple-of-8 sample count so the byte-padding path is always
+    exercised.
+    """
+    rng = gen.trial_rng(seed, 3)
+    elements = gen.random_elements(rng, n_satellites, max_eccentricity=0.0)
+    sites = gen.random_sites(rng, n_sites)
+    count = int(duration_s // step_s)
+    if count % 8 == 0:
+        count += 3  # Force padding bits into every packed row.
+    grid = TimeGrid(duration_s=count * step_s, step_s=step_s)
+
+    engine = VisibilityEngine(grid)
+    visible = engine.visibility(elements, sites)  # (S, N, T) bool
+    packed = packed_visibility(elements, sites, grid)
+
+    selections = [(None, None), (None, []), ([], None), ([], [])]
+    for _ in range(n_subsets):
+        sat_size = int(rng.integers(1, n_satellites + 1))
+        site_size = int(rng.integers(1, n_sites + 1))
+        sat_subset = rng.choice(n_satellites, size=sat_size, replace=False)
+        site_subset = rng.choice(n_sites, size=site_size, replace=False)
+        selections.append((sat_subset, None))
+        selections.append((sat_subset, site_subset))
+        selections.append((None, site_subset))
+
+    mismatched: List[str] = []
+    for sat_indices, site_indices in selections:
+        for name in _unpacked_reductions_match(
+            packed, visible, sat_indices, site_indices
+        ):
+            sat_count = "all" if sat_indices is None else len(sat_indices)
+            site_count = "all" if site_indices is None else len(site_indices)
+            mismatched.append(f"{name} (sats={sat_count}, sites={site_count})")
+
+    details = {
+        "sites": n_sites,
+        "satellites": n_satellites,
+        "samples": int(grid.count),
+        "selections": len(selections),
+        "mismatches": mismatched,
+    }
+    if mismatched:
+        return failed("oracle.packed", **details)
+    return passed("oracle.packed", **details)

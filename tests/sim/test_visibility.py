@@ -219,3 +219,162 @@ class TestPackedVisibility:
     def test_rejects_short_packing(self, short_grid):
         with pytest.raises(ValueError, match="too short"):
             PackedVisibility(np.zeros((1, 1, 2), dtype=np.uint8), 100, short_grid)
+
+
+class TestPackedEmptySelections:
+    """Regression: empty subset selections must be valid zero-result queries.
+
+    Empty ``site_indices``/``sat_indices`` used to reduce over an empty
+    axis (and a plain ``[]`` crashed outright with an IndexError because an
+    empty Python list carries a float dtype); every reduction now returns
+    explicit zeros of the right shape.
+    """
+
+    @pytest.fixture
+    def packed(self, small_walker, taipei_terminal, short_grid):
+        sites = [taipei_terminal, UserTerminal("eq", 0.0, 0.0)]
+        return packed_visibility(small_walker, sites, short_grid)
+
+    # Every reduction accepts the empty selection in all its spellings.
+    EMPTY = [[], (), np.array([]), np.array([], dtype=np.intp)]
+
+    @pytest.mark.parametrize("empty", EMPTY)
+    def test_satellite_active_fractions_no_sites(self, packed, empty):
+        fractions = packed.satellite_active_fractions(site_indices=empty)
+        assert fractions.shape == (packed.n_satellites,)
+        assert np.all(fractions == 0.0)
+
+    @pytest.mark.parametrize("empty", EMPTY)
+    def test_satellite_active_fractions_no_sats(self, packed, empty):
+        fractions = packed.satellite_active_fractions(sat_indices=empty)
+        assert fractions.shape == (0,)
+
+    @pytest.mark.parametrize("empty", EMPTY)
+    def test_satellite_masks_no_sites(self, packed, empty):
+        masks = packed.satellite_masks(site_indices=empty)
+        assert masks.shape == (packed.n_satellites, packed.n_times)
+        assert masks.dtype == bool
+        assert not masks.any()
+
+    @pytest.mark.parametrize("empty", EMPTY)
+    def test_satellite_masks_no_sats(self, packed, empty):
+        masks = packed.satellite_masks(sat_indices=empty)
+        assert masks.shape == (0, packed.n_times)
+        assert masks.dtype == bool
+
+    @pytest.mark.parametrize("empty", EMPTY)
+    def test_both_axes_empty(self, packed, empty):
+        assert packed.satellite_active_fractions(empty, empty).shape == (0,)
+        assert packed.satellite_masks(empty, empty).shape == (0, packed.n_times)
+
+    @pytest.mark.parametrize("empty", EMPTY)
+    def test_site_reductions_accept_plain_empty(self, packed, empty):
+        assert not packed.site_mask(0, empty).any()
+        assert not packed.site_masks(empty).any()
+        assert np.all(packed.coverage_fractions(empty) == 0.0)
+
+    def test_subset_of_empty_site_selection_restricts_sats(self, packed):
+        fractions = packed.satellite_active_fractions(
+            sat_indices=[2, 5], site_indices=[]
+        )
+        assert fractions.shape == (2,)
+        assert np.all(fractions == 0.0)
+
+    def test_nonempty_selections_unchanged(self, packed):
+        """The zero paths must not perturb ordinary subset reductions."""
+        fractions = packed.satellite_active_fractions(
+            sat_indices=[1, 3], site_indices=[0]
+        )
+        masks = packed.satellite_masks(sat_indices=[1, 3], site_indices=[0])
+        assert np.allclose(fractions, masks.mean(axis=1))
+
+
+class TestThresholdErrorPaths:
+    """coverage_cos_thresholds domain errors and extreme elevation masks."""
+
+    ORBIT = np.array([6.92e6])
+    SITE = np.array([6.37e6])
+
+    def test_rejects_equal_radii(self):
+        with pytest.raises(ValueError, match="must exceed"):
+            coverage_cos_thresholds(self.SITE, self.SITE, np.array([25.0]))
+
+    def test_rejects_site_above_orbit(self):
+        with pytest.raises(ValueError, match="must exceed"):
+            coverage_cos_thresholds(self.SITE, self.ORBIT, np.array([25.0]))
+
+    def test_rejects_any_bad_pair_in_batch(self):
+        """One suborbital pair poisons the whole batch, loudly."""
+        radii = np.array([6.92e6, 6.0e6])
+        with pytest.raises(ValueError, match="must exceed"):
+            coverage_cos_thresholds(radii, self.SITE, np.array([25.0]))
+
+    def test_zero_mask_threshold_is_horizon_geometry(self):
+        thresholds = coverage_cos_thresholds(self.ORBIT, self.SITE, np.array([0.0]))
+        psi = np.arccos(self.SITE[0] / self.ORBIT[0])
+        assert np.isclose(thresholds[0, 0], np.cos(psi))
+
+    def test_near_vertical_mask_approaches_one(self):
+        thresholds = coverage_cos_thresholds(
+            self.ORBIT, self.SITE, np.array([89.9])
+        )
+        assert 0.999999 < thresholds[0, 0] <= 1.0
+
+    def test_thresholds_monotonic_in_mask(self):
+        masks = np.linspace(0.0, 89.0, 90)
+        thresholds = coverage_cos_thresholds(
+            self.ORBIT, np.full(masks.size, self.SITE[0]), masks
+        )[:, 0]
+        assert np.all(np.diff(thresholds) > 0.0)
+
+    def test_thresholds_always_in_unit_interval(self):
+        radii = np.linspace(6.6e6, 8.0e6, 7)
+        masks = np.linspace(0.0, 89.9, 5)
+        thresholds = coverage_cos_thresholds(
+            radii, np.full(masks.size, self.SITE[0]), masks
+        )
+        assert np.all(thresholds >= -1.0)
+        assert np.all(thresholds <= 1.0)
+
+
+class TestChunkBoundaryIdentity:
+    """chunk_size is an execution knob: any split must yield the same tensor."""
+
+    @pytest.mark.parametrize("chunk_size", [1, 2, 3, 7, 8, 13, 64, 10_000])
+    def test_every_chunk_size_identical(
+        self, small_walker, taipei_terminal, short_grid, chunk_size
+    ):
+        reference = VisibilityEngine(short_grid).visibility(
+            small_walker, [taipei_terminal]
+        )
+        chunked = VisibilityEngine(short_grid, chunk_size=chunk_size).visibility(
+            small_walker, [taipei_terminal]
+        )
+        assert np.array_equal(reference, chunked)
+
+    def test_chunk_equal_to_grid_count(self, small_walker, taipei_terminal, short_grid):
+        exact = VisibilityEngine(
+            short_grid, chunk_size=short_grid.count
+        ).visibility(small_walker, [taipei_terminal])
+        reference = VisibilityEngine(short_grid).visibility(
+            small_walker, [taipei_terminal]
+        )
+        assert np.array_equal(exact, reference)
+
+    def test_rejects_nonpositive_chunk(self, short_grid):
+        with pytest.raises(ValueError, match="chunk_size"):
+            VisibilityEngine(short_grid, chunk_size=0)
+
+    @pytest.mark.parametrize("chunk_size", [8, 24, 1000])
+    def test_packed_chunk_identity(
+        self, small_walker, taipei_terminal, short_grid, chunk_size
+    ):
+        """Packing in chunks must agree with the unpacked tensor bit-for-bit."""
+        dense = VisibilityEngine(short_grid).visibility(
+            small_walker, [taipei_terminal]
+        )
+        packed = packed_visibility(
+            small_walker, [taipei_terminal], short_grid, chunk_size=chunk_size
+        )
+        assert np.array_equal(packed.site_masks(), dense.any(axis=1))
+        assert np.array_equal(packed.satellite_masks(), dense.any(axis=0))

@@ -1,0 +1,92 @@
+"""Tests for the ``python -m repro validate`` CLI entry point."""
+
+import json
+
+import pytest
+
+import repro.validate as validate_pkg
+from repro.cli import build_parser, main
+from repro.obs.report import validate_run_report
+from repro.validate.result import ValidationReport, failed, passed
+from repro.validate import validate_validation_report
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["validate"])
+        assert args.mode == "quick"
+        assert args.seed is None
+        assert args.report is None
+        assert not args.update_goldens
+
+    def test_full_flag(self):
+        assert build_parser().parse_args(["validate", "--full"]).mode == "full"
+
+    def test_quick_full_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["validate", "--quick", "--full"])
+
+    def test_seed_and_report(self):
+        args = build_parser().parse_args(
+            ["validate", "--seed", "7", "--report", "out.json"]
+        )
+        assert args.seed == 7
+        assert args.report == "out.json"
+
+
+@pytest.fixture
+def fake_run(monkeypatch):
+    """Stub run_validation; records the call and controls the verdict."""
+    state = {"calls": [], "report": None}
+
+    def stub(mode="quick", seed=0, update_goldens=False):
+        state["calls"].append({"mode": mode, "seed": seed, "update": update_goldens})
+        return state["report"]
+
+    monkeypatch.setattr(validate_pkg, "run_validation", stub)
+    state["report"] = ValidationReport(mode="quick", seed=2024, checks=[passed("a")])
+    return state
+
+
+class TestMain:
+    def test_green_run_exits_zero(self, fake_run):
+        assert main(["validate"]) == 0
+        assert fake_run["calls"] == [
+            {"mode": "quick", "seed": 2024, "update": False}
+        ]
+
+    def test_red_run_exits_one(self, fake_run):
+        fake_run["report"] = ValidationReport(
+            mode="quick", seed=2024, checks=[failed("a", error="x")]
+        )
+        assert main(["validate"]) == 1
+
+    def test_flags_reach_runner(self, fake_run):
+        fake_run["report"] = ValidationReport(mode="full", seed=7, checks=[])
+        assert main(["validate", "--full", "--seed", "7", "--update-goldens"]) == 0
+        assert fake_run["calls"] == [{"mode": "full", "seed": 7, "update": True}]
+
+    def test_report_file_embeds_validation(self, fake_run, tmp_path):
+        report_path = tmp_path / "nested" / "validation.json"
+        assert main(["validate", "--report", str(report_path)]) == 0
+        with open(report_path, encoding="utf-8") as handle:
+            document = json.load(handle)
+        validate_run_report(document)
+        validate_validation_report(document["extra"]["validation"])
+        assert document["command"] == "validate"
+        assert document["extra"]["validation"]["ok"] is True
+
+    def test_failing_run_still_writes_report(self, fake_run, tmp_path):
+        fake_run["report"] = ValidationReport(
+            mode="quick", seed=2024, checks=[failed("a", error="x")]
+        )
+        report_path = tmp_path / "validation.json"
+        assert main(["validate", "--report", str(report_path)]) == 1
+        with open(report_path, encoding="utf-8") as handle:
+            document = json.load(handle)
+        assert document["extra"]["validation"]["ok"] is False
+
+    def test_listed_in_cli_help(self, capsys):
+        main(["list"])
+        out = capsys.readouterr().out
+        assert "validate --quick|--full" in out
