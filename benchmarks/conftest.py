@@ -50,9 +50,10 @@ BENCH_CONFIG = ExperimentConfig(
 #: Where the machine-readable benchmark record lands.  CI's bench-smoke job
 #: points REPRO_BENCH_OUT elsewhere so the committed records stay put.
 #: BENCH_PR1.json is the frozen pre-runner baseline; BENCH_PR3.json is the
-#: current record (unified runner + parallel identity legs).
+#: unified-runner record; BENCH_PR5.json is the current record (streaming
+#: visibility kernels + pair culling + memory-ceiling legs).
 BENCH_REPORT_PATH = Path(
-    os.environ.get("REPRO_BENCH_OUT", Path(__file__).parent / "BENCH_PR3.json")
+    os.environ.get("REPRO_BENCH_OUT", Path(__file__).parent / "BENCH_PR5.json")
 )
 
 #: Per-test wall-clock, filled by the autouse timer fixture.

@@ -265,6 +265,12 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         "order-independent",
     )
     parser.add_argument(
+        "--chunk-size", type=_positive_int, default=None, metavar="SAMPLES",
+        help="time samples per streaming visibility slab (default: 64); "
+        "peak build memory scales with it, results do not — streaming is "
+        "chunk-invariant bit for bit",
+    )
+    parser.add_argument(
         "--log-level", default=None, metavar="LEVEL", type=str.upper,
         choices=("DEBUG", "INFO", "WARNING", "ERROR", "CRITICAL"),
         help="diagnostic log level: DEBUG, INFO, WARNING, ERROR, CRITICAL "
@@ -446,6 +452,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     configure_logging(args.log_level)
     config = _config_from_args(args)
+    if getattr(args, "chunk_size", None):
+        # An execution knob like --parallel, not part of ExperimentConfig:
+        # streaming is chunk-invariant, so it must not enter cache keys or
+        # the golden config contract.
+        from repro.experiments.common import default_context
+
+        default_context().chunk_size = args.chunk_size
     for path in (args.metrics_out, args.profile, args.trace_out):
         parent = os.path.dirname(os.path.abspath(path)) if path else None
         if parent:

@@ -56,6 +56,7 @@ class PlacementScorer:
         grid: TimeGrid,
         cities: Sequence[City] = CITIES,
         min_elevation_deg: float = DEFAULT_MIN_ELEVATION_DEG,
+        context=None,
     ) -> None:
         self.grid = grid
         self.cities = list(cities)
@@ -64,8 +65,19 @@ class PlacementScorer:
             self.cities, min_elevation_deg=min_elevation_deg
         )
         self._engine = VisibilityEngine(grid)
+        # ``context`` (an ExperimentContext, duck-typed to avoid the import
+        # cycle) supplies the cached per-(sites, grid) geometry — the ECI
+        # unit track and thresholds are then shared across every Monte-Carlo
+        # run instead of rebuilt per scorer.
+        self._geometry = (
+            context.site_geometry(self._terminals, grid)
+            if context is not None
+            else None
+        )
         if base is not None and len(base) > 0:
-            self.base_masks = self._engine.site_coverage(base, self._terminals)
+            self.base_masks = self._engine.site_coverage(
+                base, self._terminals, geometry=self._geometry
+            )
         else:
             self.base_masks = np.zeros(
                 (len(self.cities), grid.count), dtype=bool
@@ -83,7 +95,9 @@ class PlacementScorer:
         if not candidates:
             return []
         constellation = Constellation(candidates, name="candidates")
-        vis = self._engine.visibility(constellation, self._terminals)  # (S, C, T)
+        vis = self._engine.visibility(
+            constellation, self._terminals, geometry=self._geometry
+        )  # (S, C, T)
         union = self.base_masks[:, None, :] | vis
         fractions = self.weights @ union.mean(axis=2)  # (C,)
         gains = fractions - self.base_fraction
@@ -99,7 +113,7 @@ class PlacementScorer:
     def absorb(self, satellite: Satellite) -> None:
         """Fold a chosen satellite into the base (for greedy designs)."""
         vis = self._engine.visibility(
-            Constellation([satellite]), self._terminals
+            Constellation([satellite]), self._terminals, geometry=self._geometry
         )  # (S, 1, T)
         self.base_masks = self.base_masks | vis[:, 0, :]
         self.base_fraction = float(self.weights @ self.base_masks.mean(axis=1))
@@ -180,6 +194,7 @@ def greedy_gap_filling_design(
     candidates_per_round: int = 32,
     cities: Sequence[City] = CITIES,
     party: str = "",
+    context=None,
 ) -> Constellation:
     """The incentive-aligned strategy: repeatedly fill the largest gap.
 
@@ -189,7 +204,7 @@ def greedy_gap_filling_design(
     """
     if satellite_count <= 0:
         raise ValueError(f"satellite_count must be positive, got {satellite_count}")
-    scorer = PlacementScorer(base, grid, cities)
+    scorer = PlacementScorer(base, grid, cities, context=context)
     chosen: List[Satellite] = []
     for round_index in range(satellite_count):
         pool = gap_filling_candidates(

@@ -21,9 +21,11 @@ and the ``visibility.build`` span).
 
 from __future__ import annotations
 
+import atexit
 import time
+import weakref
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -31,9 +33,12 @@ from repro.constants import DEFAULT_MIN_ELEVATION_DEG, WEEK_S
 from repro.constellation.satellite import Constellation
 from repro.constellation.shells import starlink_like_constellation
 from repro.ground.cities import CITIES, TAIPEI, population_weights
+from repro.ground.sites import GroundSite
 from repro.obs import get_logger, metrics
 from repro.obs.trace import span
+from repro.orbits.propagator import BatchPropagator
 from repro.sim.clock import TimeGrid
+from repro.sim.kernels import SiteGeometry
 from repro.sim.visibility import PackedVisibility, packed_visibility
 
 _LOG = get_logger(__name__)
@@ -107,11 +112,26 @@ class ExperimentContext:
 
     Not thread-safe: experiments drive a context from one thread (or one
     process) at a time.
+
+    Args:
+        chunk_size: Streaming chunk (time samples per slab) for visibility
+            builds owned by this context; None uses
+            :data:`repro.sim.kernels.DEFAULT_STREAM_CHUNK`.  An execution
+            knob like ``parallel``: results are chunk-invariant, only peak
+            memory changes (the CLI's ``--chunk-size`` sets it on the
+            default context).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, chunk_size: Optional[int] = None) -> None:
+        if chunk_size is not None and chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        self.chunk_size = chunk_size
         self._pools: Dict[int, Constellation] = {}
+        self._propagators: Dict[int, BatchPropagator] = {}
         self._visibility: Dict[VisibilityKey, PackedVisibility] = {}
+        self._geometry: Dict[
+            Tuple[Tuple[GroundSite, ...], TimeGrid], SiteGeometry
+        ] = {}
 
     def pool(self, seed: int = 0) -> Constellation:
         """The cached synthetic Starlink-like pool (4408 satellites)."""
@@ -125,14 +145,51 @@ class ExperimentContext:
             _POOL_HITS.inc()
         return self._pools[seed]
 
+    def pool_propagator(self, seed: int = 0) -> BatchPropagator:
+        """A cached :class:`BatchPropagator` over the pool.
+
+        Reusing one propagator instance across Monte-Carlo rebuilds keeps
+        :meth:`SiteGeometry.thresholds`' per-propagator cache hot (the
+        threshold table only depends on the pool's radii and the sites).
+        """
+        if seed not in self._propagators:
+            self._propagators[seed] = BatchPropagator(self.pool(seed).elements)
+        return self._propagators[seed]
+
+    def site_geometry(
+        self, sites: Sequence[GroundSite], grid: TimeGrid
+    ) -> SiteGeometry:
+        """The cached :class:`SiteGeometry` for a (sites, grid) pair.
+
+        Sites and grid are fixed per experiment while the constellation
+        sample varies, so the stacked unit vectors, radii, thresholds and
+        the full ECI unit track are computed once and reused by every run.
+        """
+        key = (tuple(sites), grid)
+        geometry = self._geometry.get(key)
+        if geometry is None:
+            geometry = SiteGeometry(key[0], grid)
+            geometry.prime_track()
+            self._geometry[key] = geometry
+        return geometry
+
     def visibility(
-        self, config: ExperimentConfig, pool_seed: int = 0
+        self,
+        config: ExperimentConfig,
+        pool_seed: int = 0,
+        out_allocator: Optional[Callable[[Tuple[int, int, int]], np.ndarray]] = None,
     ) -> PackedVisibility:
         """Packed visibility of the full pool at every experiment site.
 
         This is the one expensive computation (~30-60 s for a week at
         60-120 s steps); everything downstream is boolean reductions.
         Cached per (pool seed, step, elevation mask, horizon).
+
+        ``out_allocator`` (cache-miss only) is called with the packed shape
+        ``(S, N, ceil(T/8))`` and must return uint8 storage to pack into —
+        the parallel runner allocates a shared-memory segment here so the
+        tensor is born shared instead of copied afterwards (see
+        :func:`repro.runner.shared.ensure_shared_visibility`).
         """
         key = visibility_cache_key(config, pool_seed)
         if key not in self._visibility:
@@ -146,10 +203,23 @@ class ExperimentContext:
                 city.terminal(min_elevation_deg=config.min_elevation_deg)
                 for city in ALL_SITES
             ]
+            grid = config.grid()
+            propagator = self.pool_propagator(pool_seed)
+            geometry = self.site_geometry(sites, grid)
+            out = None
+            if out_allocator is not None:
+                out = out_allocator(
+                    (geometry.n_sites, propagator.count, (grid.count + 7) // 8)
+                )
             start = time.perf_counter()
             with span("visibility.build"):
                 self._visibility[key] = packed_visibility(
-                    self.pool(pool_seed), sites, config.grid()
+                    propagator,
+                    sites,
+                    grid,
+                    chunk_size=self.chunk_size,
+                    geometry=geometry,
+                    out=out,
                 )
             elapsed = time.perf_counter() - start
             _VIS_BUILD_SECONDS.observe(elapsed)
@@ -180,10 +250,55 @@ class ExperimentContext:
     def cached_pool_seeds(self) -> Tuple[int, ...]:
         return tuple(sorted(self._pools))
 
+    def dispose_segments(self) -> None:
+        """Release shared-memory segments owned by cached tensors.
+
+        A tensor whose ``segment`` is set was packed straight into a
+        ``multiprocessing.shared_memory`` segment this context owns (the
+        parallel-runner path); its ``packed`` array is a view into that
+        segment, so callers must drop the tensor (:meth:`clear`) along with
+        the segment.  Idempotent; workers never own segments (their
+        attached tensors have ``segment is None``), so this never unlinks
+        memory out from under a sibling process.
+        """
+        for vis in self._visibility.values():
+            segment = getattr(vis, "segment", None)
+            if segment is None:
+                continue
+            vis.segment = None
+            try:
+                segment.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass
+
     def clear(self) -> None:
-        """Drop every cached pool/visibility this context owns."""
+        """Drop every cached pool/visibility/geometry this context owns."""
+        self.dispose_segments()
         self._pools.clear()
+        self._propagators.clear()
         self._visibility.clear()
+        self._geometry.clear()
+
+
+#: Contexts holding shared-memory-backed tensors; their segments must be
+#: unlinked before interpreter exit or the OS keeps the /dev/shm files.
+#: Weak so contexts stay garbage-collectable; pool *worker* processes never
+#: register here (they exit via os._exit and own no segments anyway).
+_SEGMENT_OWNERS: "weakref.WeakSet[ExperimentContext]" = weakref.WeakSet()
+
+
+def _register_segment_owner(context: ExperimentContext) -> None:
+    _SEGMENT_OWNERS.add(context)
+
+
+@atexit.register
+def _dispose_segments_at_exit() -> None:  # pragma: no cover - exit hook
+    for context in list(_SEGMENT_OWNERS):
+        context.dispose_segments()
 
 
 #: The process-default context behind the module-level helpers.

@@ -72,7 +72,9 @@ class Fig4bScenario(Scenario):
         candidates = phase_sweep_candidates(
             base[0].elements, gap_deg=30.0, positions=ctx.point
         )
-        scorer = PlacementScorer(base, ctx.config.grid(), cities=CITIES)
+        scorer = PlacementScorer(
+            base, ctx.config.grid(), cities=CITIES, context=ctx.context
+        )
         scored = scorer.score(candidates)
         return [candidate.coverage_gain_hours for candidate in scored]
 

@@ -76,7 +76,9 @@ class Fig4cScenario(Scenario):
             altitude_variant(reference, self.altitude_km),
             phase_variant(reference, self.phase_deg),
         ]
-        scorer = PlacementScorer(base, ctx.config.grid(), cities=CITIES)
+        scorer = PlacementScorer(
+            base, ctx.config.grid(), cities=CITIES, context=ctx.context
+        )
         scored = scorer.score(candidates)
         return [candidate.coverage_gain_hours for candidate in scored]
 

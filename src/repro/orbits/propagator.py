@@ -178,6 +178,26 @@ class BatchPropagator:
         self.mean_anomaly_rate = n + factor * np.sqrt(1.0 - self.eccentricity**2) * (
             1.0 - 1.5 * sin_i**2
         )
+        self._refresh_derived()
+
+    def _refresh_derived(self) -> None:
+        """Hoist per-satellite values that every propagation call needs.
+
+        These were recomputed on every chunked call; with the streaming
+        visibility kernels propagating in ~64-sample chunks that trig would
+        run hundreds of times per run.  Derived from the element arrays, so
+        must be refreshed whenever those change (:meth:`subset`).
+        """
+        self._cos_i = np.cos(self.inclination_rad)
+        self._sin_i = np.sin(self.inclination_rad)
+        self._u0 = self.arg_perigee_rad + self.mean_anomaly_rad
+        self._u_rate = self.arg_perigee_rate + self.mean_anomaly_rate
+        #: True when every orbit is exactly circular.  Gates the circular
+        #: fast path and the pair-culling satellite subsetting (the batch
+        #: Kepler solve converges batch-globally, so subsets of eccentric
+        #: pools are not guaranteed bit-identical; circular pools skip the
+        #: solver entirely).
+        self.all_circular = bool(np.all(self.eccentricity == 0.0))
 
     def _latitude_args(self, times_s: np.ndarray):
         """Shared propagation core.
@@ -193,11 +213,8 @@ class BatchPropagator:
         dt = times[None, :] - self.epoch_s[:, None]  # (N, T)
         raan = self.raan_rad[:, None] + self.raan_rate[:, None] * dt
 
-        if np.all(self.eccentricity == 0.0):
-            u = (
-                (self.arg_perigee_rad + self.mean_anomaly_rad)[:, None]
-                + (self.arg_perigee_rate + self.mean_anomaly_rate)[:, None] * dt
-            )
+        if self.all_circular:
+            u = self._u0[:, None] + self._u_rate[:, None] * dt
             radius = np.broadcast_to(
                 self.semi_major_axis_m[:, None], u.shape
             )
@@ -230,8 +247,8 @@ class BatchPropagator:
         """Rotate argument-of-latitude coordinates into ECI: (N, T, 3)."""
         cos_o = np.cos(raan)
         sin_o = np.sin(raan)
-        cos_i = np.cos(self.inclination_rad)[:, None]
-        sin_i = np.sin(self.inclination_rad)[:, None]
+        cos_i = self._cos_i[:, None]
+        sin_i = self._sin_i[:, None]
 
         out = np.empty(radius.shape + (3,))
         # x = r (cos O cos u - sin O sin u cos i); reuse temporaries in-place
@@ -266,8 +283,19 @@ class BatchPropagator:
         set to 1) rather than normalizing after the fact.
         """
         with span("propagation.batch"):
-            radius, cos_u, sin_u, raan = self._latitude_args(times_s)
-            out = self._assemble_eci(np.ones_like(radius), cos_u, sin_u, raan)
+            out = self.unit_positions_eci_unspanned(times_s)
+        return out
+
+    def unit_positions_eci_unspanned(self, times_s: np.ndarray) -> np.ndarray:
+        """:meth:`unit_positions_eci` without the span record.
+
+        The streaming visibility kernels propagate in ~64-sample chunks — a
+        week-long reduction is ~80 calls, and a span record per chunk would
+        flood the tracer's record ring (the kernels' own ``visibility.*``
+        span wraps the whole loop instead).  State evaluations still count.
+        """
+        radius, cos_u, sin_u, raan = self._latitude_args(times_s)
+        out = self._assemble_eci(np.ones_like(radius), cos_u, sin_u, raan)
         _STATE_EVALS.inc(out.shape[0] * out.shape[1])
         return out
 
@@ -290,4 +318,5 @@ class BatchPropagator:
             "mean_anomaly_rate",
         ):
             setattr(clone, name, getattr(self, name)[indices])
+        clone._refresh_derived()
         return clone

@@ -57,7 +57,7 @@ from repro.runner.scenario import RunContext, Scenario, run_rng
 from repro.runner.shared import (
     SharedVisibilityHandle,
     attach_packed_visibility,
-    share_packed_visibility,
+    ensure_shared_visibility,
     unlink_shared_visibility,
 )
 
@@ -176,8 +176,11 @@ class MonteCarloRunner:
         handle: Optional[SharedVisibilityHandle] = None
         segment = None
         if scenario.uses_pool:
-            segment, handle = share_packed_visibility(
-                self.context.visibility(self.config, POOL_SEED)
+            # Cache-aware: on a miss the tensor is chunk-streamed straight
+            # into a context-owned segment (no copy); ``segment`` is only
+            # returned — and unlinked below — for the copy fallback.
+            handle, segment = ensure_shared_visibility(
+                self.context, self.config, POOL_SEED
             )
         mp_context = _start_context()
         chunksize = max(1, len(tasks) // (workers * 8))

@@ -20,10 +20,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from multiprocessing import shared_memory
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.experiments.common import (
+    ExperimentConfig,
+    ExperimentContext,
+    _register_segment_owner,
+    visibility_cache_key,
+)
 from repro.obs import get_logger
 from repro.sim.clock import TimeGrid
 from repro.sim.visibility import PackedVisibility
@@ -86,6 +92,68 @@ def attach_packed_visibility(
     packed = np.ndarray(handle.shape, dtype=np.uint8, buffer=segment.buf)
     visibility = PackedVisibility(packed, handle.n_times, handle.grid)
     return segment, visibility
+
+
+def _handle_for(visibility: PackedVisibility) -> SharedVisibilityHandle:
+    return SharedVisibilityHandle(
+        shm_name=visibility.segment.name,
+        shape=tuple(visibility.packed.shape),
+        n_times=visibility.n_times,
+        grid=visibility.grid,
+    )
+
+
+def ensure_shared_visibility(
+    context: ExperimentContext,
+    config: ExperimentConfig,
+    pool_seed: int = 0,
+) -> Tuple[SharedVisibilityHandle, Optional[shared_memory.SharedMemory]]:
+    """A shared-memory handle for the context's packed tensor, build-free
+    when possible.
+
+    Returns ``(handle, owned_segment)``.  Three paths:
+
+    * **Cache miss** — the tensor is packed *straight into* a fresh segment
+      (chunk-streamed via the ``out_allocator`` hook), so it is born shared:
+      no second copy, no doubled peak.  The segment is attached to the
+      cached tensor (``visibility.segment``) and owned by the context —
+      later parallel runs against the same config reuse it for free;
+      ``owned_segment`` is None.
+    * **Cache hit, shm-backed** — reuse the live segment; ``owned_segment``
+      is None.
+    * **Cache hit, heap-backed** (tensor built outside any parallel run) —
+      fall back to copying into a throwaway segment; ``owned_segment`` is
+      that segment and the caller must
+      :func:`unlink_shared_visibility` it after the pool joins.
+    """
+    cached = context.cached_visibility().get(
+        visibility_cache_key(config, pool_seed)
+    )
+    if cached is not None:
+        if cached.segment is not None:
+            return _handle_for(cached), None
+        segment, handle = share_packed_visibility(cached)
+        return handle, segment
+
+    segments = []
+
+    def allocate(shape: Tuple[int, int, int]) -> np.ndarray:
+        size = max(1, int(np.prod(shape)))
+        segment = shared_memory.SharedMemory(create=True, size=size)
+        segments.append(segment)
+        return np.ndarray(shape, dtype=np.uint8, buffer=segment.buf)
+
+    visibility = context.visibility(config, pool_seed, out_allocator=allocate)
+    if not segments:  # pragma: no cover - raced install; copy instead
+        segment, handle = share_packed_visibility(visibility)
+        return handle, segment
+    visibility.segment = segments[0]
+    _register_segment_owner(context)
+    _LOG.info(
+        "packed tensor born shared in %s: %.1f MB",
+        segments[0].name, segments[0].size / 1e6,
+    )
+    return _handle_for(visibility), None
 
 
 def unlink_shared_visibility(segment: shared_memory.SharedMemory) -> None:

@@ -19,52 +19,56 @@ The threshold ``psi`` is computed from each satellite's semi-major axis; for
 the near-circular orbits of LEO constellations (e < 0.02) the instantaneous
 radius differs from ``a`` by under ~1%, shifting footprint edges by a couple
 of km — far below the time-step quantization of contact edges.
+
+The heavy lifting lives in :mod:`repro.sim.kernels`: chunk-streaming
+reduction kernels that never materialize the (S, N, T) tensor, plus the
+geometric pair cull that skips propagation for (site, satellite) pairs
+that can never see each other.  :class:`VisibilityEngine` keeps the
+figure-facing API; :meth:`VisibilityEngine.visibility` remains the
+materialized reference the streaming paths are tested bit-for-bit against.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Union
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
 from repro.constellation.satellite import Constellation
-from repro.obs import get_logger, metrics
+from repro.obs import get_logger
 from repro.obs.trace import span
 from repro.orbits.elements import OrbitalElements
-from repro.orbits.frames import gmst_rad
 from repro.orbits.propagator import BatchPropagator
 from repro.ground.sites import GroundSite
+from repro.sim import kernels
 from repro.sim.clock import TimeGrid
+from repro.sim.kernels import (  # re-exported: the historical home of these
+    SiteGeometry,
+    coverage_cos_thresholds,
+    record_visibility_metrics as _record_visibility_metrics,
+)
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "ConstellationLike",
+    "PackedVisibility",
+    "SiteGeometry",
+    "VisibilityEngine",
+    "coverage_cos_thresholds",
+    "packed_visibility",
+    "visibility_matrix",
+]
 
 _LOG = get_logger(__name__)
 
-_PAIRS = metrics.counter("sim.visibility.pairs")
-_SAMPLES_TOTAL = metrics.counter("sim.visibility.pair_samples")
-_SAMPLES_VISIBLE = metrics.counter("sim.visibility.pair_samples_visible")
-_PASS_RATE = metrics.gauge("sim.visibility.mask_pass_rate")
-
-#: Default number of time samples processed per chunk.  2048 samples of a
-#: 2000-satellite constellation peak at ~100 MB of float64 intermediates.
+#: Default number of time samples per chunk for the *materialized* path
+#: and the packed pool build (the full tensor / packed cache dominates the
+#: footprint anyway).  The streaming reductions default to the adaptive
+#: :func:`repro.sim.kernels.default_chunk_size` — for them the chunk IS
+#: the footprint.
 DEFAULT_CHUNK_SIZE = 2048
 
 ConstellationLike = Union[Constellation, Sequence[OrbitalElements], BatchPropagator]
-
-
-def _record_visibility_metrics(
-    n_sites: int, n_sats: int, n_times: int, visible_samples: int
-) -> None:
-    """Account one visibility computation: pair counts and mask pass rate."""
-    pairs = n_sites * n_sats
-    samples = pairs * n_times
-    _PAIRS.inc(pairs)
-    _SAMPLES_TOTAL.inc(samples)
-    _SAMPLES_VISIBLE.inc(visible_samples)
-    if samples:
-        _PASS_RATE.set(visible_samples / samples)
-    _LOG.debug(
-        "visibility: %d sites x %d sats x %d steps, mask pass rate %.4f",
-        n_sites, n_sats, n_times, visible_samples / samples if samples else 0.0,
-    )
 
 
 def _as_propagator(constellation: ConstellationLike) -> BatchPropagator:
@@ -75,32 +79,6 @@ def _as_propagator(constellation: ConstellationLike) -> BatchPropagator:
     return BatchPropagator(list(constellation))
 
 
-def coverage_cos_thresholds(
-    orbital_radii_m: np.ndarray,
-    site_radii_m: np.ndarray,
-    min_elevation_deg: np.ndarray,
-) -> np.ndarray:
-    """Vectorized cos(psi) thresholds for (site, satellite) pairs.
-
-    Args:
-        orbital_radii_m: (N,) satellite orbital radii.
-        site_radii_m: (S,) geocentric site radii.
-        min_elevation_deg: (S,) per-site elevation masks.
-
-    Returns:
-        (S, N) array of cosine thresholds: a satellite is visible from a site
-        when the dot product of their geocentric unit vectors meets or
-        exceeds the threshold.
-    """
-    radii = np.asarray(orbital_radii_m, dtype=np.float64)[None, :]
-    site_radii = np.asarray(site_radii_m, dtype=np.float64)[:, None]
-    masks = np.radians(np.asarray(min_elevation_deg, dtype=np.float64))[:, None]
-    if np.any(radii <= site_radii):
-        raise ValueError("orbital radius must exceed the site radius")
-    psi = np.arccos(np.clip(site_radii / radii * np.cos(masks), -1.0, 1.0)) - masks
-    return np.cos(psi)
-
-
 class VisibilityEngine:
     """Computes visibility tensors over a time grid.
 
@@ -108,73 +86,90 @@ class VisibilityEngine:
     per time grid and reuse it for many constellation samples (the
     Monte-Carlo experiments do exactly that).
 
+    The reduction methods (:meth:`site_coverage`, :meth:`satellite_activity`,
+    :meth:`visible_counts`) stream: they hold one (S, N, chunk) slab at a
+    time and never allocate the full tensor.  :meth:`visibility` still
+    materializes (S, N, T) — it is the exact reference the streaming paths
+    are validated against, and some callers genuinely need the tensor.
+
     Example:
         >>> from repro.sim import TimeGrid, VisibilityEngine
         >>> engine = VisibilityEngine(TimeGrid.hours(3.0))
         >>> # visible = engine.visibility(constellation, [site])
     """
 
-    def __init__(self, grid: TimeGrid, chunk_size: int = DEFAULT_CHUNK_SIZE) -> None:
-        if chunk_size <= 0:
+    def __init__(self, grid: TimeGrid, chunk_size: Optional[int] = None) -> None:
+        if chunk_size is not None and chunk_size <= 0:
             raise ValueError(f"chunk_size must be positive, got {chunk_size}")
         self.grid = grid
-        self.chunk_size = chunk_size
+        #: Chunk of the materialized :meth:`visibility` path.
+        self.chunk_size = DEFAULT_CHUNK_SIZE if chunk_size is None else chunk_size
+        #: Chunk of the streaming reductions; an explicit ``chunk_size``
+        #: governs both paths.  ``None`` defers to the adaptive default
+        #: (:func:`repro.sim.kernels.default_chunk_size`), which sizes the
+        #: slab per population at plan time.
+        self.stream_chunk_size = chunk_size
 
-    def _site_units_eci(self, sites: Sequence[GroundSite], times_s: np.ndarray) -> np.ndarray:
+    def _site_units_eci(
+        self, sites: Sequence[GroundSite], times_s: np.ndarray
+    ) -> np.ndarray:
         """Geocentric unit directions of sites in ECI at each time: (S, T, 3)."""
-        units_ecef = np.stack([site.unit_ecef for site in sites])  # (S, 3)
-        theta = gmst_rad(times_s, self.grid.gmst_at_epoch_rad)  # (T,)
-        cos_t = np.cos(theta)
-        sin_t = np.sin(theta)
-        x = units_ecef[:, 0][:, None]
-        y = units_ecef[:, 1][:, None]
-        out = np.empty((units_ecef.shape[0], times_s.size, 3))
-        # ECEF -> ECI is a rotation by +theta about z.
-        out[..., 0] = cos_t * x - sin_t * y
-        out[..., 1] = sin_t * x + cos_t * y
-        out[..., 2] = units_ecef[:, 2][:, None]
-        return out
+        return SiteGeometry(sites, self.grid).units_eci(times_s)
+
+    def _plan(
+        self,
+        constellation: ConstellationLike,
+        sites: Sequence[GroundSite],
+        geometry: Optional[SiteGeometry],
+        chunk_size: Optional[int],
+        cull: bool,
+        pack: bool = False,
+    ) -> kernels.StreamPlan:
+        if geometry is None:
+            if not sites:
+                raise ValueError("at least one ground site is required")
+            geometry = SiteGeometry(sites, self.grid)
+        return kernels.plan_stream(
+            _as_propagator(constellation),
+            geometry,
+            self.grid,
+            chunk_size=chunk_size,
+            cull=cull,
+            pack=pack,
+        )
 
     def visibility(
         self,
         constellation: ConstellationLike,
         sites: Sequence[GroundSite],
+        geometry: Optional[SiteGeometry] = None,
+        cull: bool = True,
     ) -> np.ndarray:
-        """Full visibility tensor.
+        """Full visibility tensor (the materialized reference path).
 
         Args:
             constellation: A :class:`Constellation`, element list, or
                 prebuilt :class:`BatchPropagator`.
             sites: Ground sites (terminals or stations).
+            geometry: Precomputed :class:`SiteGeometry` (overrides
+                ``sites``; experiment contexts cache these).
+            cull: Apply the conservative geometric pair cull (bit-neutral;
+                disable to force the fully unculled reference).
 
         Returns:
             Boolean array of shape (S, N, T).
         """
-        if not sites:
-            raise ValueError("at least one ground site is required")
-        propagator = _as_propagator(constellation)
-        site_radii = np.array(
-            [np.linalg.norm(site.position_ecef) for site in sites]
+        plan = self._plan(constellation, sites, geometry, self.chunk_size, cull)
+        visible = np.empty(
+            (plan.n_sites, plan.n_satellites, self.grid.count), dtype=bool
         )
-        masks = np.array([site.min_elevation_deg for site in sites])
-        thresholds = coverage_cos_thresholds(
-            propagator.semi_major_axis_m, site_radii, masks
-        )  # (S, N)
-
-        total = self.grid.count
-        visible = np.empty((len(sites), propagator.count, total), dtype=bool)
+        visible_samples = 0
         with span("visibility.tensor"):
-            offset = 0
-            for chunk_times in self.grid.chunks(self.chunk_size):
-                sat_units = propagator.unit_positions_eci(chunk_times)  # (N, Tc, 3)
-                site_units = self._site_units_eci(sites, chunk_times)  # (S, Tc, 3)
-                dots = np.einsum("ntk,stk->snt", sat_units, site_units, optimize=True)
-                visible[:, :, offset : offset + chunk_times.size] = (
-                    dots >= thresholds[:, :, None]
-                )
-                offset += chunk_times.size
+            for offset, slab in kernels.iter_slabs(plan):
+                visible[:, :, offset : offset + slab.shape[2]] = slab
+                visible_samples += int(np.count_nonzero(slab))
         _record_visibility_metrics(
-            len(sites), propagator.count, total, np.count_nonzero(visible)
+            plan.n_sites, plan.n_satellites, self.grid.count, visible_samples
         )
         return visible
 
@@ -182,29 +177,45 @@ class VisibilityEngine:
         self,
         constellation: ConstellationLike,
         sites: Sequence[GroundSite],
+        geometry: Optional[SiteGeometry] = None,
+        cull: bool = True,
     ) -> np.ndarray:
         """Per-site coverage mask: (S, T) — true when any satellite is visible."""
-        return self.visibility(constellation, sites).any(axis=1)
+        return kernels.stream_site_coverage(
+            self._plan(constellation, sites, geometry, self.stream_chunk_size, cull)
+        )
 
     def satellite_activity(
         self,
         constellation: ConstellationLike,
         sites: Sequence[GroundSite],
+        geometry: Optional[SiteGeometry] = None,
+        cull: bool = True,
     ) -> np.ndarray:
         """Per-satellite activity mask: (N, T) — true when any site is visible.
 
         This is the paper's Fig. 3 notion of a satellite being "connected to a
         user terminal"; idle time is the complement.
         """
-        return self.visibility(constellation, sites).any(axis=0)
+        return kernels.stream_satellite_activity(
+            self._plan(constellation, sites, geometry, self.stream_chunk_size, cull)
+        )
 
     def visible_counts(
         self,
         constellation: ConstellationLike,
         sites: Sequence[GroundSite],
+        geometry: Optional[SiteGeometry] = None,
+        cull: bool = True,
     ) -> np.ndarray:
-        """Number of visible satellites per site per time: (S, T) ints."""
-        return self.visibility(constellation, sites).sum(axis=1)
+        """Number of visible satellites per site per time: (S, T) ints.
+
+        Streamed; the counts accumulate into uint16 (uint32 past 65535
+        satellites), which is exact — the count axis is bounded by N.
+        """
+        return kernels.stream_visible_counts(
+            self._plan(constellation, sites, geometry, self.stream_chunk_size, cull)
+        )
 
 
 def visibility_matrix(
@@ -237,7 +248,11 @@ class PackedVisibility:
     bits, which is neutral for every OR/popcount reduction as long as counts
     use the true sample count ``n_times``.
 
-    Build instances with :meth:`VisibilityEngine.packed_visibility`.
+    Build instances with :func:`packed_visibility`.  ``segment`` is set by
+    the parallel runner when ``packed`` is a view into a
+    ``multiprocessing.shared_memory`` segment this process owns; whoever
+    caches the instance disposes the segment
+    (:meth:`repro.experiments.common.ExperimentContext.clear`).
     """
 
     def __init__(self, packed: np.ndarray, n_times: int, grid: TimeGrid) -> None:
@@ -248,6 +263,7 @@ class PackedVisibility:
         self.packed = packed
         self.n_times = n_times
         self.grid = grid
+        self.segment = None  # Owned shared-memory segment, when shm-backed.
 
     @property
     def n_sites(self) -> int:
@@ -335,47 +351,44 @@ class PackedVisibility:
         return np.unpackbits(packed_or, axis=1)[:, : self.n_times].astype(bool)
 
 
-def _pack_time_axis(visible_chunk: np.ndarray) -> np.ndarray:
-    """Pack a boolean (S, N, Tc) chunk along time into uint8 (Tc must be %8==0)."""
-    return np.packbits(visible_chunk, axis=2)
-
-
 def packed_visibility(
     constellation: ConstellationLike,
     sites: Sequence[GroundSite],
     grid: TimeGrid,
-    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    chunk_size: Optional[int] = None,
+    geometry: Optional[SiteGeometry] = None,
+    cull: bool = True,
+    out: Optional[np.ndarray] = None,
 ) -> PackedVisibility:
     """Compute a :class:`PackedVisibility` for a pool of satellites.
 
-    The chunk size is rounded down to a multiple of 8 so chunks pack cleanly;
-    the final partial chunk is zero-padded (padding bits read "not visible").
-    """
-    engine = VisibilityEngine(grid, chunk_size=max(8, chunk_size // 8 * 8))
-    propagator = _as_propagator(constellation)
-    site_radii = np.array([np.linalg.norm(site.position_ecef) for site in sites])
-    masks = np.array([site.min_elevation_deg for site in sites])
-    thresholds = coverage_cos_thresholds(
-        propagator.semi_major_axis_m, site_radii, masks
-    )
+    Streams: one (S, N, chunk) slab is packed at a time, so peak memory is
+    the packed result plus O(S·N·chunk) transients — the full boolean
+    tensor is never held.  The chunk size defaults to
+    :data:`DEFAULT_CHUNK_SIZE` (wide), not the adaptive streaming default:
+    the packed tensor is a long-lived cache whose thousands of downstream
+    gather-heavy reductions are measurably (~2x on Fig. 3) faster when the
+    build's transients are few and large — small-chunk builds leave the
+    process allocator in a regime where every big reduction temporary is
+    freshly mapped and page-faulted.  Either way the chunk is rounded down
+    to a multiple of 8 so chunks pack cleanly; the final partial chunk is
+    zero-padded (padding bits read "not visible").
 
-    total = grid.count
-    n_bytes = (total + 7) // 8
-    packed = np.zeros((len(sites), propagator.count, n_bytes), dtype=np.uint8)
-    with span("visibility.pack"):
-        offset = 0
-        for chunk_times in grid.chunks(engine.chunk_size):
-            sat_units = propagator.unit_positions_eci(chunk_times)
-            site_units = engine._site_units_eci(sites, chunk_times)
-            dots = np.einsum("ntk,stk->snt", sat_units, site_units, optimize=True)
-            visible = dots >= thresholds[:, :, None]
-            byte_offset = offset // 8
-            chunk_packed = np.packbits(visible, axis=2)
-            packed[:, :, byte_offset : byte_offset + chunk_packed.shape[2]] = chunk_packed
-            offset += chunk_times.size
-    # Visible-bit accounting via popcount on the packed bytes (padding bits
-    # are zero, so they never inflate the count).
-    _record_visibility_metrics(
-        len(sites), propagator.count, total, int(_POPCOUNT[packed].sum())
+    ``geometry`` reuses a cached :class:`SiteGeometry`; ``out`` packs into
+    preallocated uint8 storage (e.g. a shared-memory view — see
+    :func:`repro.runner.shared.ensure_shared_visibility`).
+    """
+    if chunk_size is None:
+        chunk_size = DEFAULT_CHUNK_SIZE
+    if geometry is None:
+        geometry = SiteGeometry(sites, grid)
+    plan = kernels.plan_stream(
+        _as_propagator(constellation),
+        geometry,
+        grid,
+        chunk_size=chunk_size,
+        cull=cull,
+        pack=True,
     )
-    return PackedVisibility(packed, total, grid)
+    packed = kernels.stream_packed_bits(plan, out=out)
+    return PackedVisibility(packed, grid.count, grid)

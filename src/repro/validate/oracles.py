@@ -20,6 +20,11 @@ depend on against an independent formulation of the same physics:
   fractions, satellite activity, with and without satellite/site subset
   restrictions) against plain boolean reductions of the unpacked tensor.
   Bit packing is lossless, so agreement is exact, not approximate.
+* :func:`check_fused_agreement` — the streaming kernels of
+  :mod:`repro.sim.kernels` (chunked slabs, geometric pair culling, cached
+  site tracks) against reductions of the materialized unculled tensor,
+  bit-exact across chunk sizes; the population is rigged so the cull
+  genuinely fires.
 """
 
 from __future__ import annotations
@@ -28,10 +33,13 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.ground.sites import GroundSite
 from repro.obs import get_logger
+from repro.orbits.elements import OrbitalElements
 from repro.orbits.frames import eci_to_ecef, gmst_rad
 from repro.orbits.propagator import BatchPropagator, J2Propagator
 from repro.orbits.topocentric import elevation_deg
+from repro.sim import kernels
 from repro.sim.clock import TimeGrid
 from repro.sim.visibility import (
     VisibilityEngine,
@@ -299,3 +307,134 @@ def check_packed_agreement(
     if mismatched:
         return failed("oracle.packed", **details)
     return passed("oracle.packed", **details)
+
+
+def check_fused_agreement(
+    seed: int,
+    n_satellites: int = 28,
+    n_sites: int = 5,
+    duration_s: float = 10_800.0,
+    step_s: float = 60.0,
+    chunk_sizes: Sequence[int] = (1, 13, 64, 1_000_000),
+) -> CheckResult:
+    """Streaming (culled) kernels vs the materialized unculled reference.
+
+    Builds a random circular population *plus* a guaranteed-cullable block —
+    a ~79 deg-latitude site that a handful of injected low-inclination
+    satellites can never reach — and demands bit-exact agreement of every
+    streaming reduction (site coverage, satellite activity, visible counts,
+    packed bits) with reductions of
+    :meth:`~repro.sim.visibility.VisibilityEngine.visibility` computed with
+    culling disabled.  Sweeps chunk sizes across the degenerate corners
+    (one sample per slab, a prime, the default, and larger than the grid)
+    and repeats the sweep with the site track primed, pinning the cached
+    ECI-track slicing path the experiment contexts use.  Fails outright if
+    the cull never fired — a check that stops exercising culling is a
+    broken check, not a passing one.
+    """
+    rng = gen.trial_rng(seed, 4)
+    elements = list(gen.random_elements(rng, n_satellites, max_eccentricity=0.0))
+    for _ in range(4):
+        elements.append(
+            OrbitalElements.from_degrees(
+                altitude_km=550.0,
+                inclination_deg=6.0,
+                raan_deg=float(rng.uniform(0.0, 360.0)),
+                mean_anomaly_deg=float(rng.uniform(0.0, 360.0)),
+            )
+        )
+    # Latitudes bounded away from the equator: every satellite ground
+    # track crosses the equator, so a near-equatorial site can reach ANY
+    # shell and a single one would keep the injected 6 deg satellites
+    # alive at satellite level.  |lat| >= 35 deg with masks >= 15 deg
+    # leaves a worst-case 29 deg latitude gap against a <= 12.3 deg
+    # footprint half-angle — the whole-satellite skip is guaranteed to
+    # fire for every random draw.  (Fully random sites remain covered by
+    # oracle.visibility; this oracle pins streaming/culling identity.)
+    sites = [
+        GroundSite(
+            name=f"fused-site-{index}",
+            latitude_deg=float(rng.choice([-1.0, 1.0]) * rng.uniform(35.0, 85.0)),
+            longitude_deg=float(rng.uniform(-180.0, 180.0)),
+            altitude_m=0.0,
+            min_elevation_deg=float(rng.uniform(15.0, 40.0)),
+        )
+        for index in range(n_sites)
+    ]
+    sites.append(
+        GroundSite(
+            name="cull-polar",
+            latitude_deg=79.0,
+            longitude_deg=float(rng.uniform(-180.0, 180.0)),
+            min_elevation_deg=25.0,
+        )
+    )
+    count = int(duration_s // step_s)
+    if count % 8 == 0:
+        count += 3  # Keep the packed byte-padding path in play.
+    grid = TimeGrid(duration_s=count * step_s, step_s=step_s)
+
+    propagator = BatchPropagator(elements)
+    reference = VisibilityEngine(grid).visibility(propagator, sites, cull=False)
+    expect_coverage = reference.any(axis=1)
+    expect_activity = reference.any(axis=0)
+    expect_counts = reference.sum(axis=1)
+    expect_packed = packed_visibility(
+        propagator, sites, grid, cull=False
+    ).site_masks()
+
+    mismatched: List[str] = []
+    culled_pairs = 0
+    culled_satellites = 0
+    for primed in (False, True):
+        geometry = kernels.SiteGeometry(sites, grid)
+        if primed:
+            geometry.prime_track()
+        for chunk in chunk_sizes:
+            plan = kernels.plan_stream(propagator, geometry, grid, chunk_size=chunk)
+            culled_pairs = plan.culled_pairs
+            culled_satellites = plan.culled_satellites
+            label = f"chunk={chunk}, primed={primed}"
+            if not np.array_equal(
+                kernels.stream_site_coverage(plan), expect_coverage
+            ):
+                mismatched.append(f"site_coverage ({label})")
+            if not np.array_equal(
+                kernels.stream_satellite_activity(
+                    kernels.plan_stream(propagator, geometry, grid, chunk_size=chunk)
+                ),
+                expect_activity,
+            ):
+                mismatched.append(f"satellite_activity ({label})")
+            if not np.array_equal(
+                kernels.stream_visible_counts(
+                    kernels.plan_stream(propagator, geometry, grid, chunk_size=chunk)
+                ),
+                expect_counts,
+            ):
+                mismatched.append(f"visible_counts ({label})")
+            if not np.array_equal(
+                packed_visibility(
+                    propagator, sites, grid, chunk_size=chunk, geometry=geometry
+                ).site_masks(),
+                expect_packed,
+            ):
+                mismatched.append(f"packed_bits ({label})")
+    if not culled_pairs or not culled_satellites:
+        mismatched.append(
+            f"cull never fired (pairs={culled_pairs}, "
+            f"satellites={culled_satellites})"
+        )
+
+    details = {
+        "sites": len(sites),
+        "satellites": propagator.count,
+        "samples": int(grid.count),
+        "chunk_sizes": list(chunk_sizes),
+        "culled_pairs": culled_pairs,
+        "culled_satellites": culled_satellites,
+        "mismatches": mismatched,
+    }
+    if mismatched:
+        return failed("oracle.fused", **details)
+    return passed("oracle.fused", **details)

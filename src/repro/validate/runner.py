@@ -53,6 +53,9 @@ class ValidationProfile:
     packed_satellites: int
     packed_sites: int
     packed_subsets: int
+    fused_satellites: int
+    fused_sites: int
+    fused_chunk_sizes: tuple
 
 
 QUICK = ValidationProfile(
@@ -67,6 +70,9 @@ QUICK = ValidationProfile(
     packed_satellites=32,
     packed_sites=6,
     packed_subsets=6,
+    fused_satellites=24,
+    fused_sites=4,
+    fused_chunk_sizes=(1, 13, 1_000_000),
 )
 
 FULL = ValidationProfile(
@@ -81,6 +87,9 @@ FULL = ValidationProfile(
     packed_satellites=128,
     packed_sites=12,
     packed_subsets=24,
+    fused_satellites=96,
+    fused_sites=8,
+    fused_chunk_sizes=(1, 13, 64, 1_000_000),
 )
 
 PROFILES = {profile.name: profile for profile in (QUICK, FULL)}
@@ -158,6 +167,17 @@ def run_validation(
             ),
         )
     )
+    report.checks.append(
+        _run_check(
+            "oracle.fused",
+            lambda: oracles.check_fused_agreement(
+                seed,
+                n_satellites=profile.fused_satellites,
+                n_sites=profile.fused_sites,
+                chunk_sizes=profile.fused_chunk_sizes,
+            ),
+        )
+    )
 
     for name in fuzz.INVARIANTS:
         report.checks.append(
@@ -200,6 +220,13 @@ def _summarize_details(check: CheckResult) -> str:
     if check.name == "oracle.packed" and "selections" in details:
         return (
             f"{details['selections']} selections, "
+            f"{len(details.get('mismatches', []))} mismatches"
+        )
+    if check.name == "oracle.fused" and "culled_pairs" in details:
+        return (
+            f"{len(details.get('chunk_sizes', []))} chunk sizes, "
+            f"{details['culled_pairs']} pairs / "
+            f"{details.get('culled_satellites', '?')} sats culled, "
             f"{len(details.get('mismatches', []))} mismatches"
         )
     if check.name.startswith("fuzz.") and "trials" in details:

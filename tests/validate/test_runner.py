@@ -46,6 +46,7 @@ def stubbed_checks(monkeypatch):
     )
     monkeypatch.setattr(oracles, "check_visibility_oracle", stub("oracle.visibility"))
     monkeypatch.setattr(oracles, "check_packed_agreement", stub("oracle.packed"))
+    monkeypatch.setattr(oracles, "check_fused_agreement", stub("oracle.fused"))
     monkeypatch.setattr(
         fuzz, "run_invariant",
         lambda seed, name, trials: passed(f"fuzz.{name}", trials=trials),
@@ -62,7 +63,8 @@ class TestRunValidation:
         report = run_validation(mode="quick", seed=3)
         names = [check.name for check in report.checks]
         expected = (
-            ["oracle.propagator", "oracle.visibility", "oracle.packed"]
+            ["oracle.propagator", "oracle.visibility", "oracle.packed",
+             "oracle.fused"]
             + [f"fuzz.{name}" for name in fuzz.INVARIANTS]
             + [f"golden.{name}" for name in goldens.GOLDEN_EXPERIMENTS]
         )
