@@ -16,17 +16,30 @@ report with span timings, counters, and the exact configuration + seed.
 ``--trace-out`` additionally writes a Chrome trace-event file of the run's
 spans and simulation timeline, loadable in Perfetto (https://ui.perfetto.dev).
 
-Beyond the figures there are two utility subcommands::
+``--live-status`` streams periodic progress lines (per-scenario ETA,
+worker health from heartbeats) to stderr while the experiment runs —
+with ``--parallel N`` the workers publish frames over the telemetry bus
+(:mod:`repro.obs.bus`) and a SIGKILLed worker is detected and recovered
+instead of hanging the run.  ``--metrics-format openmetrics`` switches
+``--metrics-out`` from the JSON run report to the OpenMetrics text
+exposition (:mod:`repro.obs.expose`).
+
+Beyond the figures there are three utility subcommands::
 
     python -m repro bench-compare BENCH_A.json BENCH_B.json [--threshold 1.25]
+    python -m repro bench-compare --history BENCH_PR1.json BENCH_PR3.json ...
+    python -m repro obs diff A.json B.json
     python -m repro validate [--quick|--full] [--update-goldens] [--report FILE]
 
 ``bench-compare`` diffs two benchmark records (see benchmarks/) and exits
-non-zero on a wall-clock regression past the threshold.  ``validate`` runs
-the differential oracle suite, the seeded property-fuzz harness, and the
-golden-figure regression gates (see :mod:`repro.validate`), exiting
-non-zero on any red check; ``--report`` writes the schema'd validation
-verdicts inside an observability run report.
+non-zero on a wall-clock regression past the threshold; with ``--history``
+it renders a chain of records as a per-figure wall-time trajectory table
+instead.  ``obs diff`` compares two ``--metrics-out`` run reports (spans,
+counters, cache/cull ratios, timeline drops; see :mod:`repro.obs.diff`).
+``validate`` runs the differential oracle suite, the seeded property-fuzz
+harness, and the golden-figure regression gates (see :mod:`repro.validate`),
+exiting non-zero on any red check; ``--report`` writes the schema'd
+validation verdicts inside an observability run report.
 """
 
 from __future__ import annotations
@@ -48,9 +61,12 @@ _LOG = get_logger(__name__)
 OBSERVABILITY_FLAGS = (
     ("--log-level", "diagnostic verbosity (DEBUG..CRITICAL; also REPRO_LOG env)"),
     ("--metrics-out", "write a JSON run report (spans, counters, config, seed)"),
+    ("--metrics-format", "run-report format: json (default) or openmetrics"),
+    ("--live-status", "stream live progress lines (ETA, worker health) to stderr"),
     ("--profile", "dump cProfile stats for the run to a .pstats file"),
     ("--trace-out", "write a Chrome trace-event JSON (open in Perfetto)"),
     ("--track-memory", "sample tracemalloc peaks per span (adds overhead)"),
+    ("--timeline-cap", "simulation-timeline ring capacity (also REPRO_TIMELINE_CAP)"),
 )
 
 
@@ -281,6 +297,23 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         help="write a JSON run report (spans, counters, config, seed) to FILE",
     )
     parser.add_argument(
+        "--metrics-format", default="json", choices=("json", "openmetrics"),
+        help="--metrics-out format: the JSON run report (default) or an "
+        "OpenMetrics text exposition of the metrics registry",
+    )
+    parser.add_argument(
+        "--live-status", action="store_true",
+        help="stream periodic progress lines (per-scenario ETA, worker "
+        "health via heartbeats) to stderr while the experiment runs; with "
+        "--parallel N, workers stream telemetry frames live over the bus",
+    )
+    parser.add_argument(
+        "--timeline-cap", type=_positive_int, default=None, metavar="EVENTS",
+        help="simulation-timeline ring capacity (default: 65536, or the "
+        "REPRO_TIMELINE_CAP env var); raise it when the run report warns "
+        "about dropped timeline events",
+    )
+    parser.add_argument(
         "--profile", default=None, metavar="FILE",
         help="profile the run with cProfile and dump stats to FILE (.pstats)",
     )
@@ -329,6 +362,15 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("bench_b", metavar="BENCH_B.json",
                        help="candidate benchmark record")
     bench.add_argument(
+        "bench_more", metavar="BENCH_N.json", nargs="*",
+        help="further records for --history (chronological order)",
+    )
+    bench.add_argument(
+        "--history", action="store_true",
+        help="render all records as a per-figure wall-time trajectory "
+        "table (informational, exits 0) instead of the pairwise gate",
+    )
+    bench.add_argument(
         "--threshold", type=float, default=1.25, metavar="RATIO",
         help="fail when a figure's wall-clock ratio (new/base) exceeds "
         "this (default: 1.25)",
@@ -342,6 +384,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--report-only", action="store_true",
         help="print the comparison but always exit 0",
     )
+
+    obs = subparsers.add_parser(
+        "obs", help="observability tooling over run-report artifacts"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_diff = obs_sub.add_parser(
+        "diff",
+        help="compare two --metrics-out run reports (spans, counters, "
+        "cache/cull ratios, timeline drops)",
+    )
+    obs_diff.add_argument("report_a", metavar="A.json",
+                          help="baseline run report")
+    obs_diff.add_argument("report_b", metavar="B.json",
+                          help="comparison run report")
 
     validate = subparsers.add_parser(
         "validate",
@@ -435,9 +491,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_list()
 
     if args.command == "bench-compare":
-        from repro.obs.bench import run_bench_compare
+        from repro.obs.bench import run_bench_compare, run_bench_history
 
         configure_logging(getattr(args, "log_level", None))
+        if args.history:
+            return run_bench_history(
+                [args.bench_a, args.bench_b] + list(args.bench_more)
+            )
+        if args.bench_more:
+            parser.error(
+                "bench-compare takes exactly two records unless --history"
+            )
         return run_bench_compare(
             args.bench_a,
             args.bench_b,
@@ -445,6 +509,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             min_wall_s=args.min_wall_s,
             report_only=args.report_only,
         )
+
+    if args.command == "obs":
+        from repro.obs.diff import run_obs_diff
+
+        configure_logging(getattr(args, "log_level", None))
+        return run_obs_diff(args.report_a, args.report_b)
 
     if args.command == "validate":
         configure_logging(args.log_level)
@@ -459,6 +529,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.experiments.common import default_context
 
         default_context().chunk_size = args.chunk_size
+    if getattr(args, "timeline_cap", None):
+        from repro.obs import timeline as obs_timeline
+
+        obs_timeline.resize(args.timeline_cap)
+    live_bus = None
+    if getattr(args, "live_status", False):
+        from repro.obs.bus import default_bus
+
+        live_bus = default_bus()
+        live_bus.enable_live()
     for path in (args.metrics_out, args.profile, args.trace_out):
         parent = os.path.dirname(os.path.abspath(path)) if path else None
         if parent:
@@ -466,27 +546,40 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     _LOG.info("running %s with %s", args.command, config)
 
     with track_memory(args.track_memory):
-        with profile(args.profile):
-            if args.command == "all":
-                for name, runner in EXPERIMENTS.items():
-                    print(f"\n### {name} ###")
-                    with span(f"experiment.{name}"):
-                        runner(config)
-            else:
-                with span(f"experiment.{args.command}"):
-                    EXPERIMENTS[args.command](config)
+        try:
+            with profile(args.profile):
+                if args.command == "all":
+                    for name, runner in EXPERIMENTS.items():
+                        print(f"\n### {name} ###")
+                        with span(f"experiment.{name}"):
+                            runner(config)
+                else:
+                    with span(f"experiment.{args.command}"):
+                        EXPERIMENTS[args.command](config)
+        finally:
+            if live_bus is not None:
+                live_bus.disable_live()
 
         if args.metrics_out:
-            report = write_run_report(
-                args.metrics_out, command=args.command, config=config
-            )
-            _LOG.info(
-                "run report written to %s (%d spans, %d counters, "
-                "%d timeline events)",
-                args.metrics_out, len(report["spans"]),
-                len(report["metrics"]["counters"]),
-                len(report["timeline"]["events"]),
-            )
+            if args.metrics_format == "openmetrics":
+                from repro.obs.expose import write_openmetrics
+
+                text = write_openmetrics(args.metrics_out)
+                _LOG.info(
+                    "openmetrics exposition written to %s (%d lines)",
+                    args.metrics_out, text.count("\n"),
+                )
+            else:
+                report = write_run_report(
+                    args.metrics_out, command=args.command, config=config
+                )
+                _LOG.info(
+                    "run report written to %s (%d spans, %d counters, "
+                    "%d timeline events)",
+                    args.metrics_out, len(report["spans"]),
+                    len(report["metrics"]["counters"]),
+                    len(report["timeline"]["events"]),
+                )
     if args.trace_out:
         from repro.obs.export import write_chrome_trace
 

@@ -45,10 +45,15 @@ _LOG = get_logger(__name__)
 
 _POOL_HITS = metrics.counter("experiments.pool_cache.hits")
 _POOL_MISSES = metrics.counter("experiments.pool_cache.misses")
+_POOL_EVICTIONS = metrics.counter("experiments.pool_cache.evictions")
 _VIS_HITS = metrics.counter("experiments.visibility_cache.hits")
 _VIS_MISSES = metrics.counter("experiments.visibility_cache.misses")
+_VIS_EVICTIONS = metrics.counter("experiments.visibility_cache.evictions")
 _VIS_BUILD_SECONDS = metrics.histogram("experiments.visibility_cache.build_seconds")
 _VIS_LAST_BUILD = metrics.gauge("experiments.visibility_cache.last_build_s")
+_GEO_HITS = metrics.counter("experiments.geometry_cache.hits")
+_GEO_MISSES = metrics.counter("experiments.geometry_cache.misses")
+_GEO_EVICTIONS = metrics.counter("experiments.geometry_cache.evictions")
 
 
 @dataclass(frozen=True)
@@ -168,9 +173,12 @@ class ExperimentContext:
         key = (tuple(sites), grid)
         geometry = self._geometry.get(key)
         if geometry is None:
+            _GEO_MISSES.inc()
             geometry = SiteGeometry(key[0], grid)
             geometry.prime_track()
             self._geometry[key] = geometry
+        else:
+            _GEO_HITS.inc()
         return geometry
 
     def visibility(
@@ -278,6 +286,9 @@ class ExperimentContext:
     def clear(self) -> None:
         """Drop every cached pool/visibility/geometry this context owns."""
         self.dispose_segments()
+        _POOL_EVICTIONS.inc(len(self._pools))
+        _VIS_EVICTIONS.inc(len(self._visibility))
+        _GEO_EVICTIONS.inc(len(self._geometry))
         self._pools.clear()
         self._propagators.clear()
         self._visibility.clear()

@@ -1,6 +1,6 @@
 """repro.obs — the observability layer: logging, metrics, traces, timeline.
 
-Seven stdlib-only pieces, threaded through every package of the simulator:
+Ten stdlib-only pieces, threaded through every package of the simulator:
 
 * :mod:`repro.obs.log` — run-scoped structured logging under the
   ``repro.*`` hierarchy (``--log-level`` / ``REPRO_LOG``).
@@ -17,9 +17,24 @@ Seven stdlib-only pieces, threaded through every package of the simulator:
 * :mod:`repro.obs.report` — the JSON run-report writer (``--metrics-out``)
   serializing spans, metrics, timeline, memory, config, and seed.
 * :mod:`repro.obs.bench` — the benchmark comparison tool / perf-regression
-  gate (``python -m repro bench-compare``).
+  gate (``python -m repro bench-compare``), plus the ``--history``
+  trajectory table over a chain of bench records.
+* :mod:`repro.obs.bus` — the live telemetry bus (``--live-status``):
+  streaming run/worker frames, heartbeats, stall detection, ETA rendering.
+* :mod:`repro.obs.expose` — OpenMetrics text exposition of the metrics
+  registry (``--metrics-format openmetrics``).
+* :mod:`repro.obs.diff` — run-report comparison
+  (``python -m repro obs diff A.json B.json``).
 """
 
+from repro.obs.bus import (
+    DEFAULT_BUS,
+    BusRecorder,
+    Frame,
+    LiveStatus,
+    TelemetryBus,
+    default_bus,
+)
 from repro.obs.log import configure_logging, get_logger
 from repro.obs.metrics import (
     REGISTRY,
@@ -62,4 +77,10 @@ __all__ = [
     "load_run_report",
     "validate_run_report",
     "write_run_report",
+    "TelemetryBus",
+    "DEFAULT_BUS",
+    "default_bus",
+    "Frame",
+    "BusRecorder",
+    "LiveStatus",
 ]

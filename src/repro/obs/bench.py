@@ -18,6 +18,11 @@ is passed (CI's advisory mode).
 Both bench-record schemas are readable: schema 1 (the committed
 ``BENCH_PR1.json`` baseline) and schema 2 (adds memory / timeline-drop
 accounting).
+
+``bench-compare --history A.json B.json C.json ...`` switches from the
+pairwise gate to a trajectory table: one row per figure, one wall-clock
+column per record, so the committed ``benchmarks/BENCH_PR*.json`` chain
+reads as a per-experiment performance history.
 """
 
 from __future__ import annotations
@@ -290,6 +295,65 @@ def run_bench_compare(
     if result.regressed and report_only:
         print_fn("(report-only mode: exiting 0 despite regressions)")
     return result.exit_code(report_only=report_only)
+
+
+def render_history(paths: List[str], records: List[Dict[str, Any]]) -> str:
+    """Per-figure wall-time trajectory across a chain of bench records.
+
+    One row per figure, one column per record (in the order given — e.g.
+    ``BENCH_PR1.json BENCH_PR3.json BENCH_PR5.json``), with a final
+    last/first ratio column showing the cumulative movement.
+    """
+    labels = []
+    for path in paths:
+        label = path.replace("\\", "/").rsplit("/", 1)[-1]
+        if label.endswith(".json"):
+            label = label[: -len(".json")]
+        labels.append(label)
+    names: List[str] = []
+    for record in records:
+        for name in record["figures"]:
+            if name not in names:
+                names.append(name)
+    names.sort()
+    tables = [_figure_wall_s(record) for record in records]
+    name_width = max([len("figure")] + [len(name) for name in names])
+    col_width = max([10] + [len(label) for label in labels])
+    lines = [f"bench history: {len(records)} records, {len(names)} figures", ""]
+    header = f"{'figure':<{name_width}}"
+    for label in labels:
+        header += f"  {label:>{col_width}}"
+    header += f"  {'last/first':>10}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name in names:
+        row = f"{name:<{name_width}}"
+        present = [table[name] for table in tables if name in table]
+        for table in tables:
+            cell = f"{table[name]:.4f}" if name in table else "-"
+            row += f"  {cell:>{col_width}}"
+        if len(present) >= 2:
+            row += f"  {_format_ratio(Delta(name, present[0], present[-1]).ratio):>10}"
+        else:
+            row += f"  {'-':>10}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def run_bench_history(paths: List[str], print_fn=print) -> int:
+    """Load a chain of bench records and print the trajectory table.
+
+    Informational (always exits 0): the regression *gate* is the pairwise
+    ``bench-compare``; history answers "how did we get here".
+
+    Raises:
+        ValueError: With fewer than two paths, or on an unreadable record.
+    """
+    if len(paths) < 2:
+        raise ValueError("--history needs at least two bench records")
+    records = [load_bench(path) for path in paths]
+    print_fn(render_history(paths, records))
+    return 0
 
 
 def comparison_summary(result: BenchComparison) -> Optional[str]:

@@ -1,0 +1,573 @@
+"""The live telemetry bus: streaming run/worker frames *during* execution.
+
+Everything else in :mod:`repro.obs` is batch-oriented — spans, metrics, and
+timeline events are collected while a run executes and only surface when the
+run report is written at exit.  The bus is the streaming complement: a
+channel over which the :class:`~repro.runner.monte_carlo.MonteCarloRunner`
+(and its worker processes) publish small, typed *frames* while the
+experiment is still running:
+
+* ``scenario.started`` / ``scenario.finished`` — sweep size, task count,
+  worker count (published by the parent);
+* ``run.started`` / ``run.finished`` — one Monte-Carlo repetition beginning
+  /completing, with its wall time (and, from parallel workers, the full
+  observability capture the parent merges incrementally);
+* ``worker.online`` / ``worker.failed`` — pool worker lifecycle;
+* ``heartbeat`` — periodic liveness pings from a daemon thread in every
+  worker, so a stalled or SIGKILLed worker is *detected* (missed
+  heartbeats) instead of hanging the parent forever.
+
+Frames fan out to in-process subscribers (:meth:`TelemetryBus.subscribe`):
+the CLI's ``--live-status`` attaches a :class:`LiveStatus` renderer that
+prints periodic progress lines with per-scenario ETA and worker health;
+tests attach a :class:`BusRecorder` and assert on the captured transcript.
+
+Transport
+---------
+In-process publishers call :meth:`TelemetryBus.publish` directly
+(synchronous dispatch, no queue).  Parallel workers publish through a
+:class:`BusChannel` — a picklable wrapper around a
+``multiprocessing.Queue`` handed to the pool initializer — and the parent
+drains the queue while it waits for results, dispatching each frame to the
+same subscribers.  The bus never blocks the hot path: publishing is a dict
+construction plus either a list iteration (in-process) or one
+``queue.put`` (worker).
+
+The process-global :data:`DEFAULT_BUS` (``default_bus()``) is what the CLI
+and the runner share; tests build private buses to keep transcripts out of
+each other's way.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.obs import metrics as _metrics
+from repro.obs.log import get_logger
+
+_LOG = get_logger(__name__)
+
+# -- The frame vocabulary -----------------------------------------------------
+
+SCENARIO_STARTED = "scenario.started"  #: Sweep resolved; tasks about to run.
+SCENARIO_FINISHED = "scenario.finished"  #: Every task merged.
+RUN_STARTED = "run.started"  #: One Monte-Carlo repetition began.
+RUN_FINISHED = "run.finished"  #: One repetition completed (carries wall_s).
+WORKER_ONLINE = "worker.online"  #: A pool worker initialized.
+WORKER_FAILED = "worker.failed"  #: A worker was declared dead (heartbeats).
+HEARTBEAT = "heartbeat"  #: Periodic liveness ping from a worker thread.
+
+#: Every kind the bus accepts; :meth:`TelemetryBus.publish` rejects others so
+#: typos surface at the call site.
+FRAME_KINDS = frozenset(
+    {
+        SCENARIO_STARTED,
+        SCENARIO_FINISHED,
+        RUN_STARTED,
+        RUN_FINISHED,
+        WORKER_ONLINE,
+        WORKER_FAILED,
+        HEARTBEAT,
+    }
+)
+
+#: The parent process publishes under this worker id.
+MAIN_WORKER = "main"
+
+#: Default seconds between worker heartbeat frames.
+DEFAULT_HEARTBEAT_S = 0.5
+
+#: Default seconds of heartbeat silence before a worker counts as stalled.
+DEFAULT_STALL_TIMEOUT_S = 30.0
+
+#: Default seconds between live-status progress lines.
+DEFAULT_STATUS_INTERVAL_S = 2.0
+
+_FRAMES_PUBLISHED = _metrics.counter("bus.frames_published")
+_FRAMES_DROPPED = _metrics.counter("bus.frames_dropped")
+_WORKERS_ONLINE = _metrics.gauge("bus.workers_online")
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One telemetry frame.
+
+    Attributes:
+        kind: One of the module-level kind constants (:data:`FRAME_KINDS`).
+        worker: Publisher identity — :data:`MAIN_WORKER` for the parent,
+            ``"worker-<pid>"`` for pool processes.
+        seq: Publisher-local sequence number (gap detection per worker).
+        wall_unix: Publish wall-clock time (``time.time()``).
+        payload: JSON-ready frame detail (task indices, wall times, counts).
+            ``run.finished`` frames from parallel workers additionally carry
+            the repetition's sample and observability capture for the
+            parent's incremental merge.
+    """
+
+    kind: str
+    worker: str
+    seq: int
+    wall_unix: float
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (transcripts, tests).  Non-JSON payload entries
+        (samples, snapshots) are the caller's to exclude."""
+        return {
+            "kind": self.kind,
+            "worker": self.worker,
+            "seq": self.seq,
+            "wall_unix": self.wall_unix,
+            "payload": dict(self.payload),
+        }
+
+
+class BusChannel:
+    """Picklable worker->parent frame transport (a multiprocessing queue).
+
+    Built by :meth:`TelemetryBus.open_channel` from the pool's start-method
+    context and handed to workers through the pool initializer — the only
+    pickling path a ``multiprocessing.Queue`` supports.
+    """
+
+    def __init__(self, queue) -> None:
+        self._queue = queue
+
+    def put(self, frame: Frame) -> None:
+        self._queue.put(frame)
+
+    def get(self, timeout_s: float) -> Optional[Frame]:
+        """One frame, or None after ``timeout_s`` of silence."""
+        import queue as _queue
+
+        try:
+            return self._queue.get(timeout=timeout_s)
+        except _queue.Empty:
+            return None
+
+    def close(self) -> None:
+        self._queue.close()
+
+
+class WorkerPublisher:
+    """Worker-side frame factory bound to one channel + worker identity."""
+
+    def __init__(self, channel: BusChannel, worker: str) -> None:
+        self.channel = channel
+        self.worker = worker
+        self._seq = 0
+        self._lock = threading.Lock()  # Main thread + heartbeat thread.
+
+    def publish(self, kind: str, **payload: Any) -> None:
+        if kind not in FRAME_KINDS:
+            raise ValueError(f"unknown frame kind {kind!r}")
+        with self._lock:
+            seq = self._seq
+            self._seq += 1
+        self.channel.put(
+            Frame(
+                kind=kind,
+                worker=self.worker,
+                seq=seq,
+                wall_unix=time.time(),
+                payload=payload,
+            )
+        )
+
+    def start_heartbeats(
+        self, interval_s: float, status: Callable[[], Dict[str, Any]]
+    ) -> threading.Thread:
+        """Spawn the daemon heartbeat thread (dies with the worker process).
+
+        ``status`` supplies the heartbeat payload (current task, runs done)
+        and is called from the heartbeat thread — it must be cheap and
+        thread-safe.  The thread is what makes SIGKILL *detectable*: it
+        stops pinging the instant the process dies, even mid-kernel.
+        """
+
+        def beat() -> None:
+            while True:
+                time.sleep(interval_s)
+                try:
+                    self.publish(HEARTBEAT, **status())
+                except Exception:  # pragma: no cover - queue torn down at exit
+                    return
+
+        thread = threading.Thread(target=beat, daemon=True, name="bus-heartbeat")
+        thread.start()
+        return thread
+
+
+class BusRecorder:
+    """Subscriber that captures the frame transcript (tests, debugging)."""
+
+    def __init__(self, keep_payloads: bool = True) -> None:
+        self.frames: List[Frame] = []
+        self.keep_payloads = keep_payloads
+
+    def __call__(self, frame: Frame) -> None:
+        if not self.keep_payloads:
+            frame = Frame(
+                kind=frame.kind,
+                worker=frame.worker,
+                seq=frame.seq,
+                wall_unix=frame.wall_unix,
+            )
+        self.frames.append(frame)
+
+    def kinds(self) -> List[str]:
+        return [frame.kind for frame in self.frames]
+
+    def count(self, kind: str) -> int:
+        return sum(1 for frame in self.frames if frame.kind == kind)
+
+    def transcript(self) -> List[Dict[str, Any]]:
+        """JSON-ready transcript with heavy payload entries stripped."""
+        heavy = {"sample", "trace", "metrics", "events"}
+        records = []
+        for frame in self.frames:
+            record = frame.to_dict()
+            record["payload"] = {
+                key: value
+                for key, value in record["payload"].items()
+                if key not in heavy
+            }
+            records.append(record)
+        return records
+
+
+class LiveStatus:
+    """Progress renderer: periodic one-line status with ETA + worker health.
+
+    Subscribed to a bus by ``--live-status``; consumes frames to track per-
+    scenario task progress and per-worker heartbeat freshness, and renders
+    at most one line per ``interval_s`` to ``stream`` (stderr by default —
+    figure tables own stdout).
+    """
+
+    def __init__(
+        self,
+        stream=None,
+        interval_s: float = DEFAULT_STATUS_INTERVAL_S,
+        stall_timeout_s: float = DEFAULT_STALL_TIMEOUT_S,
+    ) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.interval_s = interval_s
+        self.stall_timeout_s = stall_timeout_s
+        self.scenario: Optional[str] = None
+        self.total_tasks = 0
+        self.done_tasks = 0
+        self.workers = 0
+        self.started_unix: Optional[float] = None
+        self.last_render_unix = 0.0
+        self.lines_rendered = 0
+        self._last_seen: Dict[str, float] = {}
+        self._failed: List[str] = []
+
+    # -- frame consumption ---------------------------------------------------
+
+    def __call__(self, frame: Frame) -> None:
+        if frame.worker != MAIN_WORKER:
+            self._last_seen[frame.worker] = frame.wall_unix
+        if frame.kind == SCENARIO_STARTED:
+            self.scenario = frame.payload.get("scenario")
+            self.total_tasks = int(frame.payload.get("tasks", 0))
+            self.workers = int(frame.payload.get("workers", 0))
+            self.done_tasks = 0
+            self.started_unix = frame.wall_unix
+            self._last_seen.clear()
+            self._failed = []
+            self.render(force=True)
+        elif frame.kind == RUN_FINISHED:
+            self.done_tasks += 1
+            self.render()
+        elif frame.kind == WORKER_FAILED:
+            self._failed.append(frame.worker)
+            self.render(force=True)
+        elif frame.kind == SCENARIO_FINISHED:
+            self.render(force=True)
+
+    # -- rendering -----------------------------------------------------------
+
+    def eta_s(self, now_unix: Optional[float] = None) -> Optional[float]:
+        """Rate-based remaining-seconds estimate; None before any progress."""
+        if not self.done_tasks or self.started_unix is None:
+            return None
+        now = time.time() if now_unix is None else now_unix
+        elapsed = max(now - self.started_unix, 1e-9)
+        remaining = max(self.total_tasks - self.done_tasks, 0)
+        return elapsed / self.done_tasks * remaining
+
+    def stale_workers(self, now_unix: Optional[float] = None) -> List[str]:
+        """Workers whose last frame is older than the stall timeout."""
+        now = time.time() if now_unix is None else now_unix
+        return sorted(
+            worker
+            for worker, seen in self._last_seen.items()
+            if now - seen > self.stall_timeout_s and worker not in self._failed
+        )
+
+    def status_line(self, now_unix: Optional[float] = None) -> str:
+        now = time.time() if now_unix is None else now_unix
+        scenario = self.scenario or "?"
+        if self.total_tasks:
+            percent = 100.0 * self.done_tasks / self.total_tasks
+            progress = f"{self.done_tasks}/{self.total_tasks} ({percent:.0f}%)"
+        else:
+            progress = f"{self.done_tasks} runs"
+        eta = self.eta_s(now)
+        eta_text = f" eta {eta:.0f}s" if eta is not None else ""
+        parts = [f"[live] {scenario}: {progress}{eta_text}"]
+        if self.workers > 1:
+            stale = self.stale_workers(now)
+            health = f"{self.workers} workers"
+            if stale:
+                health += f", {len(stale)} stalled ({', '.join(stale)})"
+            if self._failed:
+                health += f", {len(self._failed)} failed"
+            parts.append(health)
+        return " | ".join(parts)
+
+    def render(self, force: bool = False) -> None:
+        now = time.time()
+        if not force and now - self.last_render_unix < self.interval_s:
+            return
+        self.last_render_unix = now
+        self.lines_rendered += 1
+        print(self.status_line(now), file=self.stream, flush=True)
+
+
+class TelemetryBus:
+    """The parent-side hub: publish, subscribe, drain, summarize.
+
+    One bus is one telemetry domain: the runner publishes scenario/run
+    frames into it, parallel drains feed worker frames through it, and
+    every subscriber sees the merged stream in arrival order.  The bus also
+    keeps the accounting the schema-3 run report's ``bus`` section exposes:
+    frame counts by kind, workers seen, declared failures.
+
+    Thread-compat: publish/drain happen on the parent's main thread; the
+    lock only guards subscriber mutation against dispatch.
+    """
+
+    def __init__(
+        self,
+        heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+        stall_timeout_s: float = DEFAULT_STALL_TIMEOUT_S,
+    ) -> None:
+        if heartbeat_s <= 0:
+            raise ValueError(f"heartbeat_s must be positive, got {heartbeat_s}")
+        if stall_timeout_s <= heartbeat_s:
+            raise ValueError(
+                f"stall_timeout_s ({stall_timeout_s}) must exceed "
+                f"heartbeat_s ({heartbeat_s})"
+            )
+        self.heartbeat_s = heartbeat_s
+        self.stall_timeout_s = stall_timeout_s
+        self.live = False
+        #: Sticky: live mode was on at some point since the last reset, so
+        #: the run report's ``bus.live`` stays truthful even though the CLI
+        #: disables live rendering before writing the report.
+        self.was_live = False
+        self.status: Optional[LiveStatus] = None
+        self._lock = threading.Lock()
+        self._subscribers: List[Callable[[Frame], None]] = []
+        self._seq = 0
+        self.frames_by_kind: Dict[str, int] = {}
+        self.workers_seen: Dict[str, Dict[str, float]] = {}
+        self.failed_workers: List[Dict[str, Any]] = []
+        self.scenarios: List[str] = []
+
+    # -- subscriptions -------------------------------------------------------
+
+    def subscribe(self, subscriber: Callable[[Frame], None]) -> None:
+        with self._lock:
+            if subscriber not in self._subscribers:
+                self._subscribers.append(subscriber)
+
+    def unsubscribe(self, subscriber: Callable[[Frame], None]) -> None:
+        with self._lock:
+            if subscriber in self._subscribers:
+                self._subscribers.remove(subscriber)
+
+    @property
+    def active(self) -> bool:
+        """Whether any consumer wants frames (live mode or a subscriber)."""
+        return self.live or bool(self._subscribers)
+
+    def enable_live(
+        self,
+        stream=None,
+        interval_s: float = DEFAULT_STATUS_INTERVAL_S,
+    ) -> LiveStatus:
+        """Turn on live mode with a :class:`LiveStatus` renderer attached."""
+        self.live = True
+        self.was_live = True
+        if self.status is None:
+            self.status = LiveStatus(
+                stream=stream,
+                interval_s=interval_s,
+                stall_timeout_s=self.stall_timeout_s,
+            )
+            self.subscribe(self.status)
+        return self.status
+
+    def disable_live(self) -> None:
+        self.live = False
+        if self.status is not None:
+            self.unsubscribe(self.status)
+            self.status = None
+
+    # -- publishing ----------------------------------------------------------
+
+    def publish(self, kind: str, worker: str = MAIN_WORKER, **payload: Any) -> Frame:
+        """Publish one in-process frame; returns it after dispatch."""
+        if kind not in FRAME_KINDS:
+            raise ValueError(f"unknown frame kind {kind!r}")
+        with self._lock:
+            seq = self._seq
+            self._seq += 1
+        frame = Frame(
+            kind=kind, worker=worker, seq=seq, wall_unix=time.time(),
+            payload=payload,
+        )
+        self.dispatch(frame)
+        return frame
+
+    def dispatch(self, frame: Frame) -> None:
+        """Account a frame and fan it out to every subscriber.
+
+        A subscriber that raises is dropped from the dispatch (and the drop
+        counted) rather than poisoning the runner's wait loop.
+        """
+        _FRAMES_PUBLISHED.inc()
+        self.frames_by_kind[frame.kind] = self.frames_by_kind.get(frame.kind, 0) + 1
+        if frame.worker != MAIN_WORKER:
+            entry = self.workers_seen.setdefault(
+                frame.worker, {"frames": 0, "last_seen_unix": 0.0}
+            )
+            entry["frames"] += 1
+            entry["last_seen_unix"] = frame.wall_unix
+            _WORKERS_ONLINE.set(len(self.workers_seen) - len(self.failed_workers))
+        if frame.kind == SCENARIO_STARTED:
+            scenario = frame.payload.get("scenario")
+            if scenario:
+                self.scenarios.append(scenario)
+        with self._lock:
+            subscribers = list(self._subscribers)
+        for subscriber in subscribers:
+            try:
+                subscriber(frame)
+            except Exception:
+                _FRAMES_DROPPED.inc()
+                _LOG.exception("bus subscriber failed; dropping it")
+                self.unsubscribe(subscriber)
+
+    # -- parallel transport --------------------------------------------------
+
+    def open_channel(self, mp_context) -> BusChannel:
+        """A queue-backed channel for worker publishers (pool initargs)."""
+        return BusChannel(mp_context.Queue())
+
+    def drain(self, channel: BusChannel, timeout_s: float) -> List[Frame]:
+        """Pull queued worker frames and dispatch them; at most one
+        ``timeout_s`` wait (on an empty queue), then everything pending."""
+        frames: List[Frame] = []
+        frame = channel.get(timeout_s)
+        while frame is not None:
+            self.dispatch(frame)
+            frames.append(frame)
+            frame = channel.get(0.0)
+        return frames
+
+    # -- failure accounting ----------------------------------------------------
+
+    def record_worker_failure(
+        self, worker: str, reason: str, lost_tasks: Tuple[Tuple[int, int], ...] = ()
+    ) -> None:
+        """Declare a worker dead: counted, reported, and published as a frame."""
+        self.failed_workers.append(
+            {
+                "worker": worker,
+                "reason": reason,
+                "lost_tasks": [list(task) for task in lost_tasks],
+            }
+        )
+        _metrics.counter("runner.worker_failures").inc()
+        self.publish(WORKER_FAILED, worker=worker, reason=reason,
+                     lost_tasks=len(lost_tasks))
+
+    def heartbeat_age_s(self, worker: str, now_unix: Optional[float] = None) -> float:
+        """Seconds since ``worker`` last published anything (inf if never)."""
+        entry = self.workers_seen.get(worker)
+        if entry is None:
+            return float("inf")
+        now = time.time() if now_unix is None else now_unix
+        return now - entry["last_seen_unix"]
+
+    def stale_workers(self, now_unix: Optional[float] = None) -> List[str]:
+        """Workers silent past the stall timeout and not yet declared failed."""
+        now = time.time() if now_unix is None else now_unix
+        failed = {entry["worker"] for entry in self.failed_workers}
+        return sorted(
+            worker
+            for worker in self.workers_seen
+            if worker not in failed
+            and self.heartbeat_age_s(worker, now) > self.stall_timeout_s
+        )
+
+    # -- reporting -------------------------------------------------------------
+
+    def summary(self) -> Dict[str, Any]:
+        """The JSON-ready ``bus`` section of a schema-3 run report."""
+        return {
+            "live": self.live or self.was_live,
+            "frames_total": sum(self.frames_by_kind.values()),
+            "frames_by_kind": dict(sorted(self.frames_by_kind.items())),
+            "workers": {
+                worker: dict(entry)
+                for worker, entry in sorted(self.workers_seen.items())
+            },
+            "failed_workers": [dict(entry) for entry in self.failed_workers],
+            "scenarios": list(self.scenarios),
+        }
+
+    def reset(self) -> None:
+        """Forget accumulated accounting (subscribers and mode survive)."""
+        self.frames_by_kind.clear()
+        self.workers_seen.clear()
+        self.failed_workers.clear()
+        self.scenarios.clear()
+        self.was_live = self.live
+        self._seq = 0
+
+
+#: The process-global bus the CLI and the runner share.
+DEFAULT_BUS = TelemetryBus()
+
+
+def default_bus() -> TelemetryBus:
+    """The process-default :class:`TelemetryBus`."""
+    return DEFAULT_BUS
+
+
+def bus_summary() -> Dict[str, Any]:
+    """The default bus's run-report section (see :mod:`repro.obs.report`)."""
+    return DEFAULT_BUS.summary()
+
+
+def empty_bus_summary() -> Dict[str, Any]:
+    """The ``bus`` section of a report from before the bus existed
+    (schema 1/2 upgrades)."""
+    return {
+        "live": False,
+        "frames_total": 0,
+        "frames_by_kind": {},
+        "workers": {},
+        "failed_workers": [],
+        "scenarios": [],
+    }

@@ -1,0 +1,181 @@
+"""OpenMetrics-style text exposition of the metrics registry.
+
+The run report (:mod:`repro.obs.report`) is the rich JSON artifact; this
+module is the interchange one: ``render_openmetrics`` turns a registry
+snapshot into the OpenMetrics text format (the Prometheus exposition
+dialect), so standard scrape/ingest tooling can read a run's counters
+without a custom parser.  The CLI surfaces it as
+``--metrics-out metrics.txt --metrics-format openmetrics``.
+
+Mapping:
+
+* dotted instrument names become underscore-joined metric names
+  (``sim.kernels.slab_bytes`` -> ``sim_kernels_slab_bytes``);
+* counters expose one ``<name>_total`` sample;
+* gauges expose one ``<name>`` sample;
+* histograms expose cumulative ``<name>_bucket{le="..."}`` samples
+  (including the mandatory ``le="+Inf"``) plus ``<name>_sum`` and
+  ``<name>_count``;
+* the document ends with the ``# EOF`` terminator the OpenMetrics spec
+  requires.
+
+:func:`parse_openmetrics` is the matching line-format validator — used by
+tests and the CI bench-smoke job to prove an exposition artifact parses —
+not a full OpenMetrics client.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Dict, List, Optional
+
+from repro.obs import metrics as _metrics
+
+#: Characters legal in an exposition metric name (after the first, which
+#: additionally must not be a digit).
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+
+#: One sample line: name, optional {labels}, one value.
+_SAMPLE_LINE = re.compile(
+    r"(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)\Z"
+)
+
+#: One label pair inside the braces: key="value" (no escapes needed for
+#: the numeric ``le`` bounds this module emits).
+_LABEL_PAIR = re.compile(r'[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*"\Z')
+
+_TYPES = ("counter", "gauge", "histogram")
+
+
+def metric_name(dotted: str) -> str:
+    """An exposition-legal metric name for a dotted instrument name."""
+    name = re.sub(r"[^a-zA-Z0-9_:]", "_", dotted)
+    if not name or name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _format_value(value: Any) -> str:
+    number = float(value)
+    if math.isinf(number):
+        return "+Inf" if number > 0 else "-Inf"
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def render_openmetrics(snapshot: Optional[Dict[str, Dict]] = None) -> str:
+    """The registry snapshot as an OpenMetrics text document.
+
+    Args:
+        snapshot: A :meth:`MetricsRegistry.snapshot` dict; the default
+            registry's live snapshot when omitted.
+    """
+    if snapshot is None:
+        snapshot = _metrics.snapshot()
+    lines: List[str] = []
+    for dotted, value in sorted(snapshot.get("counters", {}).items()):
+        name = metric_name(dotted)
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name}_total {_format_value(value)}")
+    for dotted, value in sorted(snapshot.get("gauges", {}).items()):
+        name = metric_name(dotted)
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {_format_value(value)}")
+    for dotted, data in sorted(snapshot.get("histograms", {}).items()):
+        name = metric_name(dotted)
+        lines.append(f"# TYPE {name} histogram")
+        cumulative = 0
+        for bound, count in zip(data["buckets"], data["counts"]):
+            cumulative += count
+            lines.append(
+                f'{name}_bucket{{le="{_format_value(bound)}"}} {cumulative}'
+            )
+        cumulative += data["counts"][-1]
+        lines.append(f'{name}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{name}_sum {_format_value(data['sum'])}")
+        lines.append(f"{name}_count {_format_value(data['count'])}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def parse_openmetrics(text: str) -> Dict[str, float]:
+    """Validate an exposition document's line format; return its samples.
+
+    Checks what a scraper relies on: every line is a ``# TYPE`` declaration
+    (with a known type), a comment, or a well-formed sample; sample names
+    were declared; ``# EOF`` terminates the document.  Returns samples keyed
+    by ``name`` or ``name{labels}``.
+
+    Raises:
+        ValueError: On any malformed line, an undeclared sample, a
+            duplicate sample key, or a missing/misplaced ``# EOF``.
+    """
+    samples: Dict[str, float] = {}
+    declared: Dict[str, str] = {}
+    saw_eof = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            raise ValueError(f"line {lineno}: blank line in exposition")
+        if saw_eof:
+            raise ValueError(f"line {lineno}: content after # EOF")
+        if line == "# EOF":
+            saw_eof = True
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4 or not _NAME_OK.match(parts[2]):
+                raise ValueError(f"line {lineno}: malformed TYPE: {line!r}")
+            if parts[3] not in _TYPES:
+                raise ValueError(f"line {lineno}: unknown type {parts[3]!r}")
+            if parts[2] in declared:
+                raise ValueError(f"line {lineno}: duplicate TYPE for {parts[2]!r}")
+            declared[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # HELP/UNIT comments, if a future writer adds them.
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: malformed sample: {line!r}")
+        name = match.group("name")
+        labels = match.group("labels")
+        if labels is not None:
+            for pair in labels.split(","):
+                if not _LABEL_PAIR.match(pair):
+                    raise ValueError(
+                        f"line {lineno}: malformed label pair {pair!r}"
+                    )
+        base = name
+        for suffix in ("_total", "_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in declared:
+                base = name[: -len(suffix)]
+                break
+        if base not in declared:
+            raise ValueError(f"line {lineno}: sample {name!r} has no TYPE")
+        raw = match.group("value")
+        try:
+            value = float(raw.replace("+Inf", "inf").replace("-Inf", "-inf"))
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: non-numeric value {raw!r}"
+            ) from None
+        key = name if labels is None else f"{name}{{{labels}}}"
+        if key in samples:
+            raise ValueError(f"line {lineno}: duplicate sample {key!r}")
+        samples[key] = value
+    if not saw_eof:
+        raise ValueError("exposition does not end with # EOF")
+    return samples
+
+
+def write_openmetrics(
+    path: str, snapshot: Optional[Dict[str, Dict]] = None
+) -> str:
+    """Render the exposition to ``path``; returns the written text."""
+    text = render_openmetrics(snapshot)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return text

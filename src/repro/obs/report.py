@@ -15,9 +15,12 @@ pin the current top-level key set.  Schema history:
 * **1** — spans, span_stats, dropped_spans, metrics, config, seed, meta.
 * **2** — adds ``timeline`` (events + ring drop accounting), ``memory``
   (tracemalloc peaks), and per-span ``mem_peak_kb`` inside ``spans``.
+* **3** — adds ``bus`` (telemetry-bus accounting: frame counts by kind,
+  workers seen, declared worker failures, scenarios observed).
 
-:func:`load_run_report` reads either version, upgrading schema-1 files to
-the schema-2 shape in memory (empty timeline, memory marked unsampled).
+:func:`load_run_report` reads any supported version, upgrading older files
+to the schema-3 shape in memory (empty timeline/memory/bus sections,
+original version preserved under ``schema_original``).
 """
 
 from __future__ import annotations
@@ -30,13 +33,17 @@ import time
 import tracemalloc
 from typing import Any, Dict, Optional
 
+from repro.obs import bus as _bus
 from repro.obs import metrics as _metrics
 from repro.obs import timeline as _timeline
 from repro.obs import trace as _trace
 from repro.obs.log import get_logger
 
 #: Bumped when the report layout changes incompatibly.
-REPORT_SCHEMA_VERSION = 2
+REPORT_SCHEMA_VERSION = 3
+
+#: Schema versions :func:`upgrade_report` knows how to read.
+SUPPORTED_SCHEMAS = (1, 2, REPORT_SCHEMA_VERSION)
 
 #: Top-level keys every (current-schema) report carries.
 REPORT_KEYS = frozenset(
@@ -51,6 +58,7 @@ REPORT_KEYS = frozenset(
         "timeline",
         "memory",
         "metrics",
+        "bus",
         "meta",
     }
 )
@@ -144,6 +152,7 @@ def collect_run_report(
         "timeline": timeline_snapshot,
         "memory": _memory_section(),
         "metrics": _metrics.snapshot(),
+        "bus": _bus.bus_summary(),
         "meta": {
             "python": sys.version.split()[0],
             "platform": platform.platform(),
@@ -170,10 +179,11 @@ def write_run_report(
 
 
 def upgrade_report(report: Dict[str, Any]) -> Dict[str, Any]:
-    """Normalize a loaded report to the schema-2 shape (back-compat reader).
+    """Normalize a loaded report to the schema-3 shape (back-compat reader).
 
     Schema-1 reports gain an empty ``timeline`` and an unsampled ``memory``
-    section; the original version is preserved under ``schema_original``.
+    section; schema-1 and -2 reports gain an empty ``bus`` section.  The
+    original version is preserved under ``schema_original``.
 
     Raises:
         ValueError: On an unrecognized schema version.
@@ -181,34 +191,37 @@ def upgrade_report(report: Dict[str, Any]) -> Dict[str, Any]:
     schema = report.get("schema")
     if schema == REPORT_SCHEMA_VERSION:
         return report
-    if schema != 1:
+    if schema not in SUPPORTED_SCHEMAS:
         raise ValueError(
             f"unsupported run-report schema {schema!r} "
-            f"(supported: 1, {REPORT_SCHEMA_VERSION})"
+            f"(supported: {', '.join(map(str, SUPPORTED_SCHEMAS))})"
         )
     upgraded = dict(report)
     upgraded["schema"] = REPORT_SCHEMA_VERSION
-    upgraded["schema_original"] = 1
-    upgraded.setdefault(
-        "timeline",
-        {
-            "events": [],
-            "capacity": 0,
-            "dropped": 0,
-            "total_emitted": 0,
-            "counts_by_kind": {},
-        },
-    )
-    upgraded.setdefault(
-        "memory",
-        {
-            "tracemalloc": False,
-            "sampled_spans": 0,
-            "span_peak_kb": None,
-            "current_kb": None,
-            "peak_kb": None,
-        },
-    )
+    upgraded["schema_original"] = schema
+    if schema == 1:
+        upgraded.setdefault(
+            "timeline",
+            {
+                "events": [],
+                "capacity": 0,
+                "dropped": 0,
+                "total_emitted": 0,
+                "counts_by_kind": {},
+            },
+        )
+        upgraded.setdefault(
+            "memory",
+            {
+                "tracemalloc": False,
+                "sampled_spans": 0,
+                "span_peak_kb": None,
+                "current_kb": None,
+                "peak_kb": None,
+            },
+        )
+    # Schema <= 2 predates the telemetry bus entirely.
+    upgraded.setdefault("bus", _bus.empty_bus_summary())
     return upgraded
 
 
@@ -242,3 +255,7 @@ def validate_run_report(report: Dict[str, Any]) -> None:
     for key in ("counters", "gauges", "histograms"):
         if key not in metrics:
             raise ValueError(f"'metrics' missing {key!r}")
+    bus = report["bus"]
+    for key in ("live", "frames_total", "frames_by_kind", "failed_workers"):
+        if key not in bus:
+            raise ValueError(f"'bus' missing {key!r}")

@@ -106,6 +106,17 @@ _PAIRS_CULLED = metrics.counter("sim.visibility.culled_pairs")
 _SATS_CULLED = metrics.counter("sim.visibility.culled_satellites")
 _CULL_FRACTION = metrics.gauge("sim.visibility.cull_fraction")
 
+# Kernel introspection (ISSUE 6): stream traffic and cull efficiency.
+# Counters only ever read slab metadata (shape/nbytes) and plan scalars —
+# never array contents — so they cannot perturb the bit-identity contract.
+_SLABS_STREAMED = metrics.counter("sim.kernels.slabs_streamed")
+_SLAB_BYTES = metrics.counter("sim.kernels.slab_bytes")
+_PAIRS_EVALUATED = metrics.counter("sim.kernels.pairs_evaluated")
+_CULL_RATIO = metrics.gauge("sim.kernels.cull_ratio")
+_THRESH_HITS = metrics.counter("sim.kernels.threshold_cache.hits")
+_THRESH_MISSES = metrics.counter("sim.kernels.threshold_cache.misses")
+_THRESH_EVICTIONS = metrics.counter("sim.kernels.threshold_cache.evictions")
+
 # Shared with repro.sim.visibility (get-or-create by name returns the same
 # instruments; visibility.py cannot be imported here — it imports us).
 _PAIRS = metrics.counter("sim.visibility.pairs")
@@ -216,10 +227,15 @@ class SiteGeometry:
         """Cached (S, N) cos thresholds for this propagator's radii."""
         cached = self._thresholds.get(propagator)
         if cached is None:
+            _THRESH_MISSES.inc()
             cached = coverage_cos_thresholds(
                 propagator.semi_major_axis_m, self.radii_m, self.min_elevation_deg
             )
             self._thresholds[propagator] = cached
+            # The weak-keyed entry dies with the propagator; account it.
+            weakref.finalize(propagator, _THRESH_EVICTIONS.inc)
+        else:
+            _THRESH_HITS.inc()
         return cached
 
     def units_eci(self, times_s: np.ndarray) -> np.ndarray:
@@ -385,7 +401,9 @@ def plan_stream(
     _PAIRS_CULLED.inc(culled_pairs)
     _SATS_CULLED.inc(culled_satellites)
     pairs = geometry.n_sites * propagator.count
+    _PAIRS_EVALUATED.inc(pairs - culled_pairs)
     _CULL_FRACTION.set(culled_pairs / pairs if pairs else 0.0)
+    _CULL_RATIO.set(culled_pairs / pairs if pairs else 0.0)
     if culled_satellites:
         _LOG.debug(
             "pair cull: %d/%d pairs infeasible, %d/%d satellites skip propagation",
@@ -418,9 +436,12 @@ def iter_slabs(plan: StreamPlan) -> Iterator[Tuple[int, np.ndarray]]:
     """
     if plan.nothing_visible:
         for offset, chunk_times in _chunk_offsets(plan):
-            yield offset, np.zeros(
+            slab = np.zeros(
                 (plan.n_sites, plan.n_satellites, chunk_times.size), dtype=bool
             )
+            _SLABS_STREAMED.inc()
+            _SLAB_BYTES.inc(slab.nbytes)
+            yield offset, slab
         return
     thresholds = plan.thresholds[:, :, None]
     for offset, chunk_times in _chunk_offsets(plan):
@@ -435,7 +456,10 @@ def iter_slabs(plan: StreamPlan) -> Iterator[Tuple[int, np.ndarray]]:
             )
         site_units = plan.geometry.units_chunk(offset, chunk_times)
         dots = np.einsum("ntk,stk->snt", sat_units, site_units, optimize=True)
-        yield offset, dots >= thresholds
+        slab = dots >= thresholds
+        _SLABS_STREAMED.inc()
+        _SLAB_BYTES.inc(slab.nbytes)
+        yield offset, slab
 
 
 def _chunk_offsets(plan: StreamPlan) -> Iterator[Tuple[int, np.ndarray]]:

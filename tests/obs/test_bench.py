@@ -10,7 +10,9 @@ from repro.obs.bench import (
     comparison_summary,
     load_bench,
     render_comparison,
+    render_history,
     run_bench_compare,
+    run_bench_history,
     span_duration_percentiles,
 )
 
@@ -177,6 +179,48 @@ class TestRendering:
         summary = comparison_summary(result)
         assert "1 regressed" in summary
         assert "fig2" in summary
+
+
+class TestHistory:
+    def test_trajectory_table_rows_and_ratio(self):
+        paths = ["benchmarks/BENCH_PR1.json", "BENCH_PR3.json", "BENCH_PR5.json"]
+        records = [
+            _record({"fig2": 4.0, "fig3": 1.0}),
+            _record({"fig2": 2.0, "fig3": 1.0}),
+            _record({"fig2": 1.0, "fig3": 1.0, "fig4c": 0.5}),
+        ]
+        text = render_history(paths, records)
+        assert "3 records, 3 figures" in text
+        # Labels are basenames without .json.
+        assert "BENCH_PR1" in text
+        assert "benchmarks" not in text
+        [fig2_row] = [l for l in text.splitlines() if l.startswith("fig2")]
+        assert "4.0000" in fig2_row and "1.0000" in fig2_row
+        assert "0.25x" in fig2_row  # last/first cumulative movement
+        # A figure absent from early records renders "-" and no ratio.
+        [fig4c_row] = [l for l in text.splitlines() if l.startswith("fig4c")]
+        assert "-" in fig4c_row
+
+    def test_run_bench_history_always_exits_zero(self, tmp_path):
+        paths = [
+            _write(tmp_path, "a.json", _record({"fig2": 1.0})),
+            _write(tmp_path, "b.json", _record({"fig2": 9.0})),
+        ]
+        lines = []
+        assert run_bench_history(paths, print_fn=lines.append) == 0
+        assert "bench history" in lines[0]
+
+    def test_needs_two_records(self, tmp_path):
+        path = _write(tmp_path, "a.json", _record({"fig2": 1.0}))
+        with pytest.raises(ValueError, match="at least two"):
+            run_bench_history([path])
+
+    def test_accepts_mixed_schemas(self, tmp_path):
+        paths = [
+            _write(tmp_path, "a.json", _record({"fig2": 1.0}, schema=1)),
+            _write(tmp_path, "b.json", _record({"fig2": 2.0}, schema=2)),
+        ]
+        assert run_bench_history(paths, print_fn=lambda _: None) == 0
 
 
 class TestRunBenchCompare:

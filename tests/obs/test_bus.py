@@ -1,0 +1,308 @@
+"""Unit tests for repro.obs.bus: frames, publishers, recorder, status, bus."""
+
+import io
+import multiprocessing
+import time
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.bus import (
+    DEFAULT_HEARTBEAT_S,
+    FRAME_KINDS,
+    HEARTBEAT,
+    MAIN_WORKER,
+    RUN_FINISHED,
+    RUN_STARTED,
+    SCENARIO_FINISHED,
+    SCENARIO_STARTED,
+    WORKER_FAILED,
+    WORKER_ONLINE,
+    BusRecorder,
+    Frame,
+    LiveStatus,
+    TelemetryBus,
+    WorkerPublisher,
+    bus_summary,
+    default_bus,
+    empty_bus_summary,
+)
+
+
+class _ListChannel:
+    """In-process stand-in for BusChannel (no queue needed)."""
+
+    def __init__(self):
+        self.frames = []
+
+    def put(self, frame):
+        self.frames.append(frame)
+
+
+class TestFrame:
+    def test_to_dict_round_trips_payload(self):
+        frame = Frame(
+            kind=RUN_FINISHED, worker="worker-1", seq=3, wall_unix=12.5,
+            payload={"point_index": 0, "run_index": 2},
+        )
+        record = frame.to_dict()
+        assert record["kind"] == RUN_FINISHED
+        assert record["worker"] == "worker-1"
+        assert record["seq"] == 3
+        assert record["payload"] == {"point_index": 0, "run_index": 2}
+        # The payload is copied, not aliased.
+        record["payload"]["point_index"] = 9
+        assert frame.payload["point_index"] == 0
+
+    def test_kind_vocabulary_is_closed(self):
+        assert FRAME_KINDS == {
+            SCENARIO_STARTED, SCENARIO_FINISHED, RUN_STARTED, RUN_FINISHED,
+            WORKER_ONLINE, WORKER_FAILED, HEARTBEAT,
+        }
+
+
+class TestWorkerPublisher:
+    def test_publishes_sequenced_frames(self):
+        channel = _ListChannel()
+        publisher = WorkerPublisher(channel, "worker-42")
+        publisher.publish(WORKER_ONLINE, pid=42)
+        publisher.publish(RUN_STARTED, point_index=0, run_index=0)
+        assert [f.seq for f in channel.frames] == [0, 1]
+        assert all(f.worker == "worker-42" for f in channel.frames)
+        assert channel.frames[0].payload == {"pid": 42}
+
+    def test_rejects_unknown_kind(self):
+        publisher = WorkerPublisher(_ListChannel(), "worker-1")
+        with pytest.raises(ValueError, match="unknown frame kind"):
+            publisher.publish("made.up")
+
+    def test_heartbeat_thread_publishes_status(self):
+        channel = _ListChannel()
+        publisher = WorkerPublisher(channel, "worker-1")
+        thread = publisher.start_heartbeats(0.02, lambda: {"runs_done": 7})
+        assert thread.daemon
+        deadline = time.time() + 2.0
+        while not channel.frames and time.time() < deadline:
+            time.sleep(0.01)
+        assert channel.frames
+        beat = channel.frames[0]
+        assert beat.kind == HEARTBEAT
+        assert beat.payload == {"runs_done": 7}
+
+
+class TestBusRecorder:
+    def _frame(self, kind, **payload):
+        return Frame(kind=kind, worker="worker-1", seq=0, wall_unix=0.0,
+                     payload=payload)
+
+    def test_counts_and_kinds(self):
+        recorder = BusRecorder()
+        recorder(self._frame(RUN_STARTED))
+        recorder(self._frame(RUN_FINISHED))
+        recorder(self._frame(RUN_FINISHED))
+        assert recorder.kinds() == [RUN_STARTED, RUN_FINISHED, RUN_FINISHED]
+        assert recorder.count(RUN_FINISHED) == 2
+
+    def test_transcript_strips_heavy_payloads(self):
+        recorder = BusRecorder()
+        recorder(self._frame(
+            RUN_FINISHED, point_index=1, run_index=2, wall_s=0.5,
+            sample=[1.0], trace={"records": []}, metrics={}, events=[],
+        ))
+        [record] = recorder.transcript()
+        assert record["payload"] == {
+            "point_index": 1, "run_index": 2, "wall_s": 0.5,
+        }
+
+    def test_keep_payloads_false_drops_everything(self):
+        recorder = BusRecorder(keep_payloads=False)
+        recorder(self._frame(RUN_FINISHED, sample=[1.0]))
+        assert recorder.frames[0].payload == {}
+
+
+class TestLiveStatus:
+    def _frame(self, kind, worker="worker-1", wall_unix=0.0, **payload):
+        return Frame(kind=kind, worker=worker, seq=0, wall_unix=wall_unix,
+                     payload=payload)
+
+    def _started(self, tasks=10, workers=4, wall_unix=0.0):
+        return self._frame(
+            SCENARIO_STARTED, worker=MAIN_WORKER, wall_unix=wall_unix,
+            scenario="fig2", tasks=tasks, workers=workers,
+        )
+
+    def test_progress_and_eta(self):
+        status = LiveStatus(stream=io.StringIO(), interval_s=0.0)
+        status(self._started(tasks=10, wall_unix=100.0))
+        assert status.eta_s(now_unix=105.0) is None
+        for _ in range(5):
+            status(self._frame(RUN_FINISHED))
+        # 5 done in 5 s -> 5 remaining at 1/s.
+        assert status.eta_s(now_unix=105.0) == pytest.approx(5.0)
+        line = status.status_line(now_unix=105.0)
+        assert "fig2: 5/10 (50%)" in line
+        assert "eta 5s" in line
+        assert "4 workers" in line
+
+    def test_stale_and_failed_workers_render(self):
+        status = LiveStatus(
+            stream=io.StringIO(), interval_s=0.0, stall_timeout_s=1.0
+        )
+        status(self._started(workers=2))
+        status(self._frame(HEARTBEAT, worker="worker-1", wall_unix=0.5))
+        status(self._frame(HEARTBEAT, worker="worker-2", wall_unix=9.0))
+        assert status.stale_workers(now_unix=10.0) == ["worker-1"]
+        line = status.status_line(now_unix=10.0)
+        assert "1 stalled (worker-1)" in line
+        status(self._frame(WORKER_FAILED, worker="worker-1", wall_unix=10.0))
+        assert status.stale_workers(now_unix=10.0) == []
+        assert "1 failed" in status.status_line(now_unix=10.0)
+
+    def test_render_throttled_by_interval(self):
+        stream = io.StringIO()
+        status = LiveStatus(stream=stream, interval_s=3600.0)
+        status(self._started())  # forced
+        for _ in range(50):
+            status(self._frame(RUN_FINISHED))  # all throttled
+        assert len(stream.getvalue().splitlines()) == 1
+
+
+class TestTelemetryBus:
+    def test_publish_dispatches_and_accounts(self):
+        bus = TelemetryBus()
+        recorder = BusRecorder()
+        bus.subscribe(recorder)
+        bus.publish(SCENARIO_STARTED, scenario="fig2", tasks=4, workers=1)
+        bus.publish(RUN_FINISHED, worker="worker-9", point_index=0, run_index=0)
+        assert recorder.count(SCENARIO_STARTED) == 1
+        summary = bus.summary()
+        assert summary["frames_total"] == 2
+        assert summary["frames_by_kind"] == {
+            RUN_FINISHED: 1, SCENARIO_STARTED: 1,
+        }
+        assert summary["scenarios"] == ["fig2"]
+        assert "worker-9" in summary["workers"]
+        assert summary["workers"]["worker-9"]["frames"] == 1
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown frame kind"):
+            TelemetryBus().publish("nope")
+
+    def test_validates_heartbeat_configuration(self):
+        with pytest.raises(ValueError, match="heartbeat_s"):
+            TelemetryBus(heartbeat_s=0.0)
+        with pytest.raises(ValueError, match="must exceed"):
+            TelemetryBus(heartbeat_s=1.0, stall_timeout_s=0.5)
+
+    def test_active_tracks_live_and_subscribers(self):
+        bus = TelemetryBus()
+        assert not bus.active
+        recorder = BusRecorder()
+        bus.subscribe(recorder)
+        assert bus.active
+        bus.unsubscribe(recorder)
+        assert not bus.active
+        bus.enable_live(stream=io.StringIO())
+        assert bus.active
+        bus.disable_live()
+        assert not bus.active
+
+    def test_live_flag_is_sticky_in_summary(self):
+        """The CLI disables live before writing the report; the report must
+        still say the run was live."""
+        bus = TelemetryBus()
+        bus.enable_live(stream=io.StringIO())
+        bus.disable_live()
+        assert bus.summary()["live"] is True
+        bus.reset()
+        assert bus.summary()["live"] is False
+
+    def test_failing_subscriber_is_dropped_not_fatal(self):
+        bus = TelemetryBus()
+        dropped = obs_metrics.counter("bus.frames_dropped")
+        before = dropped.value
+
+        def bad(frame):
+            raise RuntimeError("boom")
+
+        recorder = BusRecorder()
+        bus.subscribe(bad)
+        bus.subscribe(recorder)
+        bus.publish(HEARTBEAT)
+        bus.publish(HEARTBEAT)
+        assert recorder.count(HEARTBEAT) == 2
+        assert dropped.value - before == 1  # dropped once, then gone
+
+    def test_worker_failure_accounting(self):
+        bus = TelemetryBus()
+        recorder = BusRecorder()
+        bus.subscribe(recorder)
+        bus.record_worker_failure(
+            "worker-7", "no heartbeat for 2.0s", lost_tasks=((0, 1), (1, 0))
+        )
+        assert recorder.count(WORKER_FAILED) == 1
+        [failure] = bus.summary()["failed_workers"]
+        assert failure == {
+            "worker": "worker-7",
+            "reason": "no heartbeat for 2.0s",
+            "lost_tasks": [[0, 1], [1, 0]],
+        }
+
+    def test_heartbeat_age_and_stale_workers(self):
+        bus = TelemetryBus(heartbeat_s=0.1, stall_timeout_s=1.0)
+        assert bus.heartbeat_age_s("worker-1") == float("inf")
+        bus.dispatch(Frame(
+            kind=HEARTBEAT, worker="worker-1", seq=0, wall_unix=100.0
+        ))
+        bus.dispatch(Frame(
+            kind=HEARTBEAT, worker="worker-2", seq=0, wall_unix=104.5
+        ))
+        assert bus.heartbeat_age_s("worker-1", now_unix=105.0) == pytest.approx(5.0)
+        assert bus.stale_workers(now_unix=105.0) == ["worker-1"]
+        bus.record_worker_failure("worker-1", "stalled")
+        assert bus.stale_workers(now_unix=105.0) == []
+
+    def test_channel_round_trip(self):
+        bus = TelemetryBus()
+        recorder = BusRecorder()
+        bus.subscribe(recorder)
+        channel = bus.open_channel(multiprocessing.get_context())
+        publisher = WorkerPublisher(channel, "worker-1")
+        publisher.publish(RUN_FINISHED, point_index=0, run_index=0)
+        deadline = time.time() + 5.0
+        while recorder.count(RUN_FINISHED) == 0 and time.time() < deadline:
+            bus.drain(channel, timeout_s=0.1)
+        assert recorder.count(RUN_FINISHED) == 1
+        assert recorder.frames[0].worker == "worker-1"
+
+    def test_reset_clears_accounting_keeps_subscribers(self):
+        bus = TelemetryBus()
+        recorder = BusRecorder()
+        bus.subscribe(recorder)
+        bus.publish(SCENARIO_STARTED, scenario="fig2")
+        bus.reset()
+        summary = bus.summary()
+        assert summary["frames_total"] == 0
+        assert summary["scenarios"] == []
+        bus.publish(HEARTBEAT)
+        assert recorder.count(HEARTBEAT) == 1
+
+
+class TestModuleHelpers:
+    def test_default_bus_is_shared(self):
+        assert default_bus() is default_bus()
+
+    def test_bus_summary_reflects_default_bus(self):
+        bus = default_bus()
+        bus.reset()
+        try:
+            bus.publish(HEARTBEAT)
+            assert bus_summary()["frames_total"] == 1
+        finally:
+            bus.reset()
+
+    def test_empty_bus_summary_shape_matches_live_summary(self):
+        assert set(empty_bus_summary()) == set(TelemetryBus().summary())
+
+    def test_default_heartbeat_sane(self):
+        assert 0 < DEFAULT_HEARTBEAT_S < 5.0

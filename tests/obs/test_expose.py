@@ -1,0 +1,111 @@
+"""Tests for repro.obs.expose: OpenMetrics rendering and line validation."""
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.expose import (
+    metric_name,
+    parse_openmetrics,
+    render_openmetrics,
+    write_openmetrics,
+)
+
+SNAPSHOT = {
+    "counters": {"sim.kernels.slabs_streamed": 12.0, "runner.runs": 3.0},
+    "gauges": {"runner.workers": 4.0, "sim.kernels.cull_ratio": 0.625},
+    "histograms": {
+        "trace.wall": {
+            "buckets": [0.1, 1.0],
+            "counts": [2, 1, 1],  # last bucket is the +inf overflow
+            "sum": 3.5,
+            "count": 4,
+        }
+    },
+}
+
+
+class TestMetricName:
+    def test_dots_become_underscores(self):
+        assert metric_name("sim.kernels.slab_bytes") == "sim_kernels_slab_bytes"
+
+    def test_illegal_characters_sanitized(self):
+        assert metric_name("a-b c%d") == "a_b_c_d"
+
+    def test_leading_digit_guarded(self):
+        assert metric_name("2fast") == "_2fast"
+
+
+class TestRender:
+    def test_counter_gets_total_suffix(self):
+        text = render_openmetrics(SNAPSHOT)
+        assert "# TYPE sim_kernels_slabs_streamed counter" in text
+        assert "sim_kernels_slabs_streamed_total 12" in text
+
+    def test_gauge_is_bare_sample(self):
+        text = render_openmetrics(SNAPSHOT)
+        assert "# TYPE runner_workers gauge" in text
+        assert "\nrunner_workers 4\n" in text
+        assert "sim_kernels_cull_ratio 0.625" in text
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        text = render_openmetrics(SNAPSHOT)
+        assert 'trace_wall_bucket{le="0.1"} 2' in text
+        assert 'trace_wall_bucket{le="1"} 3' in text
+        assert 'trace_wall_bucket{le="+Inf"} 4' in text
+        assert "trace_wall_sum 3.5" in text
+        assert "trace_wall_count 4" in text
+
+    def test_document_ends_with_eof(self):
+        assert render_openmetrics(SNAPSHOT).endswith("# EOF\n")
+
+    def test_default_snapshot_is_live_registry(self):
+        obs_metrics.counter("expose.test.counter").inc(5)
+        text = render_openmetrics()
+        assert "expose_test_counter_total 5" in text
+
+
+class TestParse:
+    def test_round_trip(self):
+        samples = parse_openmetrics(render_openmetrics(SNAPSHOT))
+        assert samples["sim_kernels_slabs_streamed_total"] == 12.0
+        assert samples["runner_workers"] == 4.0
+        assert samples['trace_wall_bucket{le="+Inf"}'] == 4.0
+        assert samples["trace_wall_count"] == 4.0
+
+    def test_live_registry_round_trip(self):
+        samples = parse_openmetrics(render_openmetrics())
+        assert samples  # every default instrument made it through validation
+
+    @pytest.mark.parametrize(
+        "text,message",
+        [
+            ("# TYPE a counter\na_total 1\n", "does not end with # EOF"),
+            ("# TYPE a counter\n\na_total 1\n# EOF\n", "blank line"),
+            ("# EOF\nstray 1\n", "content after # EOF"),
+            ("# TYPE a widget\n# EOF\n", "unknown type"),
+            ("# TYPE a counter extra\n# EOF\n", "malformed TYPE"),
+            ("undeclared 1\n# EOF\n", "has no TYPE"),
+            ("# TYPE a gauge\na one\n# EOF\n", "non-numeric value"),
+            ("# TYPE a gauge\na 1\na 2\n# EOF\n", "duplicate sample"),
+            (
+                "# TYPE a counter\n# TYPE a counter\n# EOF\n",
+                "duplicate TYPE",
+            ),
+            ("# TYPE a gauge\na{le=}1 1\n# EOF\n", "malformed"),
+        ],
+    )
+    def test_rejects_malformed_documents(self, text, message):
+        with pytest.raises(ValueError, match=message):
+            parse_openmetrics(text)
+
+    def test_comments_are_tolerated(self):
+        text = "# TYPE a gauge\n# HELP a something\na 1\n# EOF\n"
+        assert parse_openmetrics(text) == {"a": 1.0}
+
+
+class TestWrite:
+    def test_writes_file_and_returns_text(self, tmp_path):
+        path = tmp_path / "metrics.txt"
+        text = write_openmetrics(str(path), SNAPSHOT)
+        assert path.read_text() == text
+        parse_openmetrics(path.read_text())

@@ -110,6 +110,96 @@ class TestQueries:
         assert record == {"t_s": 1.0, "kind": "handover", "subject": "t"}
 
 
+class TestResize:
+    def test_grow_keeps_everything(self):
+        timeline = Timeline(capacity=3)
+        for index in range(3):
+            timeline.emit(obs_timeline.HANDOVER, float(index), "t")
+        timeline.resize(8)
+        assert timeline.capacity == 8
+        assert [event.t_s for event in timeline.events()] == [0.0, 1.0, 2.0]
+        assert timeline.dropped == 0
+        # The grown ring accepts new events past the old cap.
+        for index in range(3, 8):
+            timeline.emit(obs_timeline.HANDOVER, float(index), "t")
+        assert len(timeline) == 8
+        assert timeline.dropped == 0
+
+    def test_shrink_keeps_newest_counts_discards(self):
+        timeline = Timeline(capacity=8)
+        for index in range(6):
+            timeline.emit(obs_timeline.HANDOVER, float(index), "t")
+        timeline.resize(2)
+        assert timeline.capacity == 2
+        assert [event.t_s for event in timeline.events()] == [4.0, 5.0]
+        assert timeline.dropped == 4
+        assert timeline.total_emitted == 6  # aggregates untouched
+
+    def test_shrink_of_wrapped_ring(self):
+        timeline = Timeline(capacity=3)
+        for index in range(5):  # ring wrapped, oldest = 2.0
+            timeline.emit(obs_timeline.HANDOVER, float(index), "t")
+        timeline.resize(2)
+        assert [event.t_s for event in timeline.events()] == [3.0, 4.0]
+        assert timeline.dropped == 2 + 1  # ring overwrites + resize discard
+
+    def test_resize_to_same_capacity_is_noop(self):
+        timeline = Timeline(capacity=4)
+        timeline.emit(obs_timeline.HANDOVER, 0.0, "t")
+        timeline.resize(4)
+        assert len(timeline) == 1
+        assert timeline.dropped == 0
+
+    def test_resized_ring_wraps_correctly(self):
+        timeline = Timeline(capacity=8)
+        for index in range(4):
+            timeline.emit(obs_timeline.HANDOVER, float(index), "t")
+        timeline.resize(3)
+        for index in range(4, 6):
+            timeline.emit(obs_timeline.HANDOVER, float(index), "t")
+        assert [event.t_s for event in timeline.events()] == [3.0, 4.0, 5.0]
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            Timeline(capacity=4).resize(0)
+
+    def test_module_level_resize(self):
+        obs_timeline.reset()
+        original = obs_timeline.TIMELINE.capacity
+        try:
+            obs_timeline.resize(5)
+            assert obs_timeline.TIMELINE.capacity == 5
+        finally:
+            obs_timeline.resize(original)
+            obs_timeline.reset()
+
+
+class TestConfiguredCapacity:
+    def test_default_when_unset(self, monkeypatch):
+        monkeypatch.delenv(obs_timeline.CAPACITY_ENV, raising=False)
+        assert obs_timeline.configured_capacity() == obs_timeline.DEFAULT_CAPACITY
+
+    def test_blank_value_means_default(self, monkeypatch):
+        monkeypatch.setenv(obs_timeline.CAPACITY_ENV, "  ")
+        assert obs_timeline.configured_capacity() == obs_timeline.DEFAULT_CAPACITY
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(obs_timeline.CAPACITY_ENV, "1024")
+        assert obs_timeline.configured_capacity() == 1024
+
+    @pytest.mark.parametrize("raw", ["zero", "1.5", "0", "-3"])
+    def test_bad_values_rejected(self, monkeypatch, raw):
+        monkeypatch.setenv(obs_timeline.CAPACITY_ENV, raw)
+        with pytest.raises(ValueError, match="positive integer"):
+            obs_timeline.configured_capacity()
+
+    def test_initial_capacity_survives_bad_env(self, monkeypatch):
+        """Import-time sizing warns and falls back instead of crashing."""
+        monkeypatch.setenv(obs_timeline.CAPACITY_ENV, "garbage")
+        with pytest.warns(UserWarning, match="positive integer"):
+            assert obs_timeline._initial_capacity() == obs_timeline.DEFAULT_CAPACITY
+
+
 class TestGlobalHelpers:
     def test_module_emit_and_extend(self):
         obs_timeline.reset()

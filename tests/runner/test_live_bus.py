@@ -1,0 +1,386 @@
+"""Tests for the live telemetry path of the MonteCarloRunner.
+
+Pins the ISSUE-6 tentpole contracts:
+
+* with a live bus and ``--parallel N``, workers stream ``run.started`` /
+  ``run.finished`` / ``heartbeat`` frames *during* execution (asserted via
+  a captured bus transcript);
+* the live incremental merge produces telemetry bit-identical to the batch
+  merge under the deterministic projection (everything except wall-clock
+  quantities);
+* a SIGKILLed worker is detected by missed heartbeats, its lost tasks
+  re-run in-process with exact results, the failure lands in the bus
+  summary / run report, and already-merged telemetry survives.
+
+Scenarios are module-level classes so the pool can pickle them under any
+start method.
+"""
+
+import io
+import multiprocessing
+import os
+import signal
+import time
+from dataclasses import dataclass
+
+import pytest
+
+from repro.experiments.common import ExperimentConfig, ExperimentContext
+from repro.obs import metrics
+from repro.obs import timeline as obs_timeline
+from repro.obs import trace as obs_trace
+from repro.obs.bus import (
+    HEARTBEAT,
+    RUN_FINISHED,
+    RUN_STARTED,
+    SCENARIO_FINISHED,
+    SCENARIO_STARTED,
+    WORKER_FAILED,
+    WORKER_ONLINE,
+    BusRecorder,
+    TelemetryBus,
+)
+from repro.runner import MonteCarloRunner, Scenario
+
+CONFIG = ExperimentConfig(runs=4, step_s=900.0, seed=7)
+
+
+@dataclass
+class ToyScenario(Scenario):
+    points: tuple = (10, 20, 30)
+
+    name = "toy"
+    salt = 99
+    uses_pool = False
+
+    def sweep(self, config, context):
+        return list(self.points)
+
+    def run_one(self, ctx, run_index):
+        return float(ctx.point) + float(ctx.rng.random())
+
+    def reduce(self, point, point_index, samples, config):
+        return (point, samples)
+
+
+@dataclass
+class EmittingScenario(Scenario):
+    """Narrates every run onto the timeline (merge-order probe)."""
+
+    points: tuple = (1, 2)
+
+    name = "toy_emit"
+    salt = 98
+    uses_pool = False
+
+    def sweep(self, config, context):
+        return list(self.points)
+
+    def run_one(self, ctx, run_index):
+        obs_timeline.emit(
+            obs_timeline.PARTY_JOIN, t_s=0.0,
+            subject=f"run-{ctx.point_index}-{ctx.run_index}",
+        )
+        return float(ctx.point_index * 100 + ctx.run_index)
+
+    def reduce(self, point, point_index, samples, config):
+        return len(samples)
+
+
+@dataclass
+class SleepyScenario(Scenario):
+    """Slow enough per run that worker heartbeats fire mid-task."""
+
+    name = "toy_sleepy"
+    salt = 97
+    uses_pool = False
+
+    def sweep(self, config, context):
+        return [0]
+
+    def runs_for(self, point, config):
+        return 4
+
+    def run_one(self, ctx, run_index):
+        time.sleep(0.15)
+        return float(run_index)
+
+    def reduce(self, point, point_index, samples, config):
+        return samples
+
+
+@dataclass
+class ExplodingScenario(ToyScenario):
+    def run_one(self, ctx, run_index):
+        raise RuntimeError("kernel exploded")
+
+
+@dataclass
+class KillScenario(Scenario):
+    """SIGKILLs its worker on task (0, 1) — only inside a pool process, so
+    the parent's serial rerun of the lost task survives."""
+
+    name = "toy_kill"
+    salt = 96
+    uses_pool = False
+
+    def sweep(self, config, context):
+        return [1, 2]
+
+    def runs_for(self, point, config):
+        return 3
+
+    def run_one(self, ctx, run_index):
+        obs_timeline.emit(
+            obs_timeline.PARTY_JOIN, t_s=0.0,
+            subject=f"run-{ctx.point_index}-{ctx.run_index}",
+        )
+        if (
+            (ctx.point_index, ctx.run_index) == (0, 1)
+            and multiprocessing.parent_process() is not None
+        ):
+            os.kill(os.getpid(), signal.SIGKILL)
+        return float(ctx.point_index * 100 + ctx.run_index)
+
+    def reduce(self, point, point_index, samples, config):
+        return samples
+
+
+def live_bus(**kwargs) -> TelemetryBus:
+    """A private live-mode bus rendering to a throwaway buffer."""
+    kwargs.setdefault("heartbeat_s", 0.05)
+    kwargs.setdefault("stall_timeout_s", 5.0)
+    bus = TelemetryBus(**kwargs)
+    bus.enable_live(stream=io.StringIO(), interval_s=0.01)
+    return bus
+
+
+def _reset_collectors():
+    obs_trace.TRACER.reset()
+    metrics.REGISTRY.reset()
+    obs_timeline.TIMELINE.reset()
+
+
+def telemetry_projection():
+    """The deterministic projection of the global collectors.
+
+    Everything a (scenario, config)-pure run must reproduce exactly:
+    timeline events, span structure (names/depth/parent/order), span and
+    histogram observation counts, and every counter/gauge that is not
+    wall-clock- or transport-dependent.  Excluded: span start/duration
+    times, histogram sums/bucket splits, ``*_s`` gauges, and ``bus.*``
+    instruments (the live transport necessarily publishes frames the batch
+    path does not).
+    """
+    trace_snap = obs_trace.TRACER.snapshot()
+    metric_snap = metrics.REGISTRY.snapshot()
+    timeline_snap = obs_timeline.TIMELINE.snapshot()
+    return {
+        "spans": [
+            (rec["name"], rec["depth"], rec["parent"])
+            for rec in trace_snap["records"]
+        ],
+        "span_counts": {
+            name: stats["count"] for name, stats in trace_snap["stats"].items()
+        },
+        "counters": {
+            name: value
+            for name, value in metric_snap["counters"].items()
+            if not name.startswith("bus.")
+        },
+        "gauges": {
+            name: value
+            for name, value in metric_snap["gauges"].items()
+            if not name.endswith("_s") and not name.startswith("bus.")
+        },
+        "histogram_counts": {
+            name: data["count"]
+            for name, data in metric_snap["histograms"].items()
+        },
+        "timeline_events": timeline_snap["events"],
+        "timeline_counts": timeline_snap["counts_by_kind"],
+    }
+
+
+class TestLiveParallel:
+    def test_results_match_serial_exactly(self):
+        serial = MonteCarloRunner(
+            CONFIG, context=ExperimentContext(), parallel=1,
+            bus=TelemetryBus(),
+        ).run(ToyScenario())
+        live = MonteCarloRunner(
+            CONFIG, context=ExperimentContext(), parallel=3, bus=live_bus()
+        ).run(ToyScenario())
+        assert serial == live
+
+    def test_transcript_streams_progress_frames(self):
+        """Workers publish run frames *during* execution: the transcript
+        interleaves per-task frames between scenario start and finish."""
+        bus = live_bus()
+        recorder = BusRecorder()
+        bus.subscribe(recorder)
+        MonteCarloRunner(
+            CONFIG, context=ExperimentContext(), parallel=3, bus=bus
+        ).collect(ToyScenario())
+        kinds = recorder.kinds()
+        assert kinds[0] == SCENARIO_STARTED
+        assert kinds[-1] == SCENARIO_FINISHED
+        tasks = 3 * CONFIG.runs
+        assert recorder.count(RUN_STARTED) == tasks
+        assert recorder.count(RUN_FINISHED) == tasks
+        assert recorder.count(WORKER_ONLINE) == 3
+        # Every run frame arrived between the scenario frames (streamed,
+        # not batched after the fact).
+        first, last = kinds.index(SCENARIO_STARTED), kinds.index(SCENARIO_FINISHED)
+        assert all(first < kinds.index(k) < last for k in (RUN_STARTED, RUN_FINISHED))
+        # The JSON transcript strips heavy payloads but keeps task indices.
+        transcript = recorder.transcript()
+        finished = [r for r in transcript if r["kind"] == RUN_FINISHED]
+        assert all("sample" not in r["payload"] for r in finished)
+        assert all("point_index" in r["payload"] for r in finished)
+
+    def test_heartbeats_flow_during_slow_tasks(self):
+        bus = live_bus(heartbeat_s=0.05)
+        recorder = BusRecorder()
+        bus.subscribe(recorder)
+        MonteCarloRunner(
+            ExperimentConfig(runs=1, step_s=900.0, seed=7),
+            context=ExperimentContext(), parallel=2, bus=bus,
+        ).collect(SleepyScenario())
+        assert recorder.count(HEARTBEAT) > 0
+        # Heartbeats carry the worker's progress payload.
+        beat = next(f for f in recorder.frames if f.kind == HEARTBEAT)
+        assert "runs_done" in beat.payload
+
+    def test_live_status_renders_progress_lines(self):
+        stream = io.StringIO()
+        bus = TelemetryBus(heartbeat_s=0.05, stall_timeout_s=5.0)
+        bus.enable_live(stream=stream, interval_s=0.0)
+        MonteCarloRunner(
+            CONFIG, context=ExperimentContext(), parallel=2, bus=bus
+        ).collect(ToyScenario())
+        lines = stream.getvalue().splitlines()
+        assert lines, "no live-status lines rendered"
+        assert any("[live] toy:" in line for line in lines)
+        done = f"{3 * CONFIG.runs}/{3 * CONFIG.runs}"
+        assert any(done in line for line in lines)
+
+    def test_serial_publishes_frames_when_bus_active(self):
+        bus = TelemetryBus()
+        recorder = BusRecorder()
+        bus.subscribe(recorder)
+        MonteCarloRunner(
+            CONFIG, context=ExperimentContext(), parallel=1, bus=bus
+        ).collect(ToyScenario())
+        assert recorder.count(RUN_FINISHED) == 3 * CONFIG.runs
+        assert recorder.count(SCENARIO_STARTED) == 1
+
+    def test_inactive_bus_publishes_nothing(self):
+        bus = TelemetryBus()
+        before = metrics.counter("bus.frames_published").value
+        MonteCarloRunner(
+            CONFIG, context=ExperimentContext(), parallel=1, bus=bus
+        ).collect(ToyScenario())
+        assert metrics.counter("bus.frames_published").value == before
+        assert bus.summary()["frames_total"] == 0
+
+
+class TestLiveMergeIdentity:
+    def test_live_merge_matches_batch_merge_projection(self):
+        """The regression-enforced bit-identity: live incremental merge ==
+        batch merge under the deterministic projection."""
+        scenario = EmittingScenario()
+        _reset_collectors()
+        try:
+            MonteCarloRunner(
+                CONFIG, context=ExperimentContext(), parallel=2,
+                bus=TelemetryBus(),
+            ).collect(scenario)
+            batch = telemetry_projection()
+            _reset_collectors()
+            MonteCarloRunner(
+                CONFIG, context=ExperimentContext(), parallel=2,
+                bus=live_bus(),
+            ).collect(scenario)
+            live = telemetry_projection()
+        finally:
+            _reset_collectors()
+        assert live == batch
+        # And the merge genuinely happened in (point, run) order.
+        subjects = [e["subject"] for e in live["timeline_events"]]
+        assert subjects == [
+            f"run-{pi}-{ri}" for pi in range(2) for ri in range(CONFIG.runs)
+        ]
+
+    def test_live_samples_bitwise_equal_to_serial(self):
+        _, serial = MonteCarloRunner(
+            CONFIG, context=ExperimentContext(), parallel=1,
+            bus=TelemetryBus(),
+        ).collect(ToyScenario())
+        _, live = MonteCarloRunner(
+            CONFIG, context=ExperimentContext(), parallel=4, bus=live_bus()
+        ).collect(ToyScenario())
+        assert serial == live
+
+
+class TestWorkerDeath:
+    def _run_kill(self, bus):
+        config = ExperimentConfig(runs=3, step_s=900.0, seed=7)
+        runner = MonteCarloRunner(
+            config, context=ExperimentContext(), parallel=2, bus=bus
+        )
+        return runner.collect(KillScenario())
+
+    def test_killed_worker_recovers_exact_results(self):
+        bus = live_bus(heartbeat_s=0.1, stall_timeout_s=1.2)
+        recorder = BusRecorder()
+        bus.subscribe(recorder)
+        _, samples = self._run_kill(bus)
+        assert samples == [
+            [0.0, 1.0, 2.0],
+            [100.0, 101.0, 102.0],
+        ]
+        # Usually exactly one (the killed worker); recovery fallbacks may
+        # add an unattributed entry when its frames died unflushed.
+        assert recorder.count(WORKER_FAILED) >= 1
+
+    def test_failure_recorded_in_bus_summary_and_report(self):
+        bus = live_bus(heartbeat_s=0.1, stall_timeout_s=1.2)
+        self._run_kill(bus)
+        failures = bus.summary()["failed_workers"]
+        assert failures
+        for failure in failures:
+            assert failure["worker"]
+            assert failure["reason"]
+        # The killed task is recorded against its owner when the run.started
+        # frame flushed before the SIGKILL, or against the synthetic
+        # "unknown" entry (possibly among other swept tasks) when the
+        # worker's death also took its unflushed frames — or the whole
+        # queue — with it.
+        assert any([0, 1] in failure["lost_tasks"] for failure in failures)
+
+    def test_partial_frames_do_not_corrupt_merged_telemetry(self):
+        """Already-merged telemetry survives; the rerun task's events land
+        exactly once, in (point, run) order."""
+        obs_timeline.reset()
+        rerun_counter = metrics.counter("runner.rerun_tasks")
+        before = rerun_counter.value
+        try:
+            bus = live_bus(heartbeat_s=0.1, stall_timeout_s=1.2)
+            self._run_kill(bus)
+            events = obs_timeline.events(kind=obs_timeline.PARTY_JOIN)
+            subjects = [event.subject for event in events]
+            assert subjects == [
+                f"run-{pi}-{ri}" for pi in range(2) for ri in range(3)
+            ]
+        finally:
+            obs_timeline.reset()
+        assert rerun_counter.value - before >= 1
+
+
+class TestWorkerException:
+    def test_worker_exception_propagates(self):
+        with pytest.raises(RuntimeError, match="kernel exploded"):
+            MonteCarloRunner(
+                CONFIG, context=ExperimentContext(), parallel=2, bus=live_bus()
+            ).collect(ExplodingScenario())

@@ -74,6 +74,36 @@ class TestParser:
         assert args.trace_out is None
         assert args.track_memory is False
 
+    def test_live_telemetry_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "fig2", "--live-status", "--metrics-format", "openmetrics",
+                "--timeline-cap", "4096",
+            ]
+        )
+        assert args.live_status is True
+        assert args.metrics_format == "openmetrics"
+        assert args.timeline_cap == 4096
+
+    def test_live_telemetry_flags_default_off(self):
+        args = build_parser().parse_args(["fig2"])
+        assert args.live_status is False
+        assert args.metrics_format == "json"
+        assert args.timeline_cap is None
+
+    def test_metrics_format_rejects_unknown(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            build_parser().parse_args(
+                ["fig2", "--metrics-format", "prometheus-protobuf"]
+            )
+        assert exc_info.value.code == 2
+
+    @pytest.mark.parametrize("bad", ["0", "-8", "many"])
+    def test_timeline_cap_rejects_non_positive(self, bad, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            build_parser().parse_args(["fig2", "--timeline-cap", bad])
+        assert exc_info.value.code == 2
+
     def test_bench_compare_parses(self):
         args = build_parser().parse_args(
             ["bench-compare", "a.json", "b.json", "--threshold", "1.5"]
@@ -87,6 +117,27 @@ class TestParser:
     def test_bench_compare_requires_two_paths(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["bench-compare", "a.json"])
+
+    def test_bench_compare_history_parses(self):
+        args = build_parser().parse_args(
+            ["bench-compare", "--history", "a.json", "b.json", "c.json", "d.json"]
+        )
+        assert args.history is True
+        assert args.bench_a == "a.json"
+        assert args.bench_b == "b.json"
+        assert args.bench_more == ["c.json", "d.json"]
+
+    def test_obs_diff_parses(self):
+        args = build_parser().parse_args(["obs", "diff", "a.json", "b.json"])
+        assert args.command == "obs"
+        assert args.obs_command == "diff"
+        assert args.report_a == "a.json"
+        assert args.report_b == "b.json"
+
+    def test_obs_requires_subcommand(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            build_parser().parse_args(["obs"])
+        assert exc_info.value.code == 2
 
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
@@ -207,6 +258,91 @@ class TestMain:
         assert metrics.exists()
         assert trace.exists()
         assert pstats.exists()
+
+    def test_openmetrics_exposition_parses(self, capsys, tmp_path):
+        """--metrics-format openmetrics writes a valid text exposition."""
+        from repro.obs.expose import parse_openmetrics
+
+        path = tmp_path / "metrics.om"
+        assert main(
+            [
+                "fig4c", "--runs", "1", "--step", "600",
+                "--metrics-out", str(path), "--metrics-format", "openmetrics",
+            ]
+        ) == 0
+        text = path.read_text()
+        families = parse_openmetrics(text)
+        assert text.endswith("# EOF\n")
+        assert any(name.startswith("sim_") for name in families)
+
+    def test_live_status_lands_in_run_report_bus_section(
+        self, capsys, tmp_path
+    ):
+        """--live-status keeps bus.live truthful in the report (sticky flag)."""
+        from repro.obs.bus import default_bus
+
+        path = tmp_path / "run.json"
+        try:
+            assert main(
+                [
+                    "fig4c", "--runs", "1", "--step", "600",
+                    "--live-status", "--metrics-out", str(path),
+                ]
+            ) == 0
+        finally:
+            default_bus().reset()
+        report = json.loads(path.read_text())
+        assert report["schema"] == 3
+        assert report["bus"]["live"] is True
+        assert report["bus"]["frames_total"] > 0
+        assert report["bus"]["failed_workers"] == []
+
+    def test_timeline_cap_flows_into_report(self, capsys, tmp_path):
+        from repro.obs import timeline as obs_timeline
+
+        original = obs_timeline.TIMELINE.capacity
+        path = tmp_path / "run.json"
+        try:
+            assert main(
+                [
+                    "fig4c", "--runs", "1", "--step", "600",
+                    "--timeline-cap", "4096", "--metrics-out", str(path),
+                ]
+            ) == 0
+            report = json.loads(path.read_text())
+            assert report["timeline"]["capacity"] == 4096
+        finally:
+            obs_timeline.resize(original)
+
+    def test_obs_diff_cli_round_trip(self, capsys, tmp_path):
+        path = tmp_path / "run.json"
+        assert main(
+            ["fig4c", "--runs", "1", "--step", "600", "--metrics-out", str(path)]
+        ) == 0
+        assert main(["obs", "diff", str(path), str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "run diff: fig4c vs fig4c" in out
+
+    def test_bench_compare_history_cli(self, capsys, tmp_path):
+        def record(wall_s):
+            return {
+                "schema": 2,
+                "figures": {"fig2": {"wall_s": wall_s}},
+                "span_stats": {},
+                "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
+            }
+
+        paths = []
+        for index, wall_s in enumerate([4.0, 2.0, 1.0]):
+            path = tmp_path / f"bench{index}.json"
+            path.write_text(json.dumps(record(wall_s)))
+            paths.append(str(path))
+        assert main(["bench-compare", "--history"] + paths) == 0
+        assert "bench history" in capsys.readouterr().out
+        # Three records without --history is a usage error, not a crash.
+        with pytest.raises(SystemExit) as exc_info:
+            main(["bench-compare"] + paths)
+        assert exc_info.value.code == 2
 
     def test_track_memory_fills_report_memory_section(self, capsys, tmp_path):
         path = tmp_path / "run.json"
