@@ -50,14 +50,19 @@ BENCH_CONFIG = ExperimentConfig(
 #: Where the machine-readable benchmark record lands.  CI's bench-smoke job
 #: points REPRO_BENCH_OUT elsewhere so the committed records stay put.
 #: BENCH_PR1.json is the frozen pre-runner baseline; BENCH_PR3.json is the
-#: unified-runner record; BENCH_PR5.json is the current record (streaming
-#: visibility kernels + pair culling + memory-ceiling legs).
+#: unified-runner record; BENCH_PR5.json the streaming-kernel record;
+#: BENCH_PR8.json is the current record (analytic contact intervals +
+#: the megaconstellation leg).
 BENCH_REPORT_PATH = Path(
-    os.environ.get("REPRO_BENCH_OUT", Path(__file__).parent / "BENCH_PR5.json")
+    os.environ.get("REPRO_BENCH_OUT", Path(__file__).parent / "BENCH_PR8.json")
 )
 
 #: Per-test wall-clock, filled by the autouse timer fixture.
 _TEST_SECONDS: Dict[str, float] = {}
+
+#: Extra per-test measurements (e.g. peak traced MiB) merged into the
+#: record's figure entries alongside wall_s.
+_TEST_EXTRAS: Dict[str, Dict[str, float]] = {}
 
 
 @pytest.fixture
@@ -117,6 +122,19 @@ def record_wall(request):
     return _record
 
 
+@pytest.fixture
+def record_extra(request):
+    """Attach extra numeric measurements to this benchmark's record entry
+    (merged next to ``wall_s`` — e.g. ``peak_mib``, ``contacts``)."""
+
+    def _record(**values: float) -> None:
+        _TEST_EXTRAS.setdefault(request.node.name, {}).update(
+            {key: float(value) for key, value in values.items()}
+        )
+
+    return _record
+
+
 def pytest_sessionfinish(session, exitstatus):
     """Write the benchmark record: per-figure timings + span aggregates."""
     if not _TEST_SECONDS:
@@ -133,7 +151,7 @@ def pytest_sessionfinish(session, exitstatus):
         },
         "exit_status": int(exitstatus),
         "figures": {
-            name: {"wall_s": seconds}
+            name: {"wall_s": seconds, **_TEST_EXTRAS.get(name, {})}
             for name, seconds in sorted(_TEST_SECONDS.items())
         },
         "span_stats": obs_trace.stats(),
@@ -146,6 +164,10 @@ def pytest_sessionfinish(session, exitstatus):
         "meta": {
             "python": sys.version.split()[0],
             "platform": platform.platform(),
+            # Records from hosts with different core counts are not
+            # wall-clock comparable (bench-compare --report-only exists
+            # for exactly that); the count makes the skew diagnosable.
+            "cpus": os.cpu_count(),
             "created_unix": time.time(),
         },
     }

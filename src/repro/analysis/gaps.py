@@ -16,6 +16,7 @@ from repro.obs import timeline as obs_timeline
 from repro.obs.timeline import TimelineEvent
 from repro.sim.coverage import gap_lengths_s
 from repro.sim.events import intervals_from_mask
+from repro.sim.intervals import IntervalSet
 
 
 @dataclass(frozen=True)
@@ -48,6 +49,16 @@ class GapDistribution:
     @classmethod
     def from_mask(cls, mask: np.ndarray, step_s: float) -> "GapDistribution":
         return cls.from_gaps(gap_lengths_s(mask, step_s))
+
+    @classmethod
+    def from_intervals(cls, coverage: IntervalSet) -> "GapDistribution":
+        """Gap distribution from an analytic coverage interval set.
+
+        Same semantics as :meth:`from_mask` — uncovered runs at the
+        horizon edges count as gaps — but gap lengths are exact interval
+        complements, not multiples of a sample step.
+        """
+        return cls.from_gaps(coverage.gap_lengths_s())
 
 
 def pooled_gap_distribution(
@@ -112,6 +123,48 @@ def gap_timeline_events(
         events.append(
             TimelineEvent(
                 t_s=gap_stop_s,
+                kind=obs_timeline.GAP_CLOSE,
+                subject=site,
+                attrs=close_attrs,
+            )
+        )
+    if emit:
+        obs_timeline.extend(events)
+    return events
+
+
+def gap_timeline_events_from_intervals(
+    coverage: IntervalSet,
+    site: str,
+    emit: bool = True,
+) -> List[TimelineEvent]:
+    """:func:`gap_timeline_events` from an analytic coverage interval set.
+
+    Gaps are the complement of ``coverage`` over its horizon; boundary
+    markers (``at_run_start`` / ``at_run_end``) follow the same rules as
+    the mask-based variant, keyed on the horizon bounds.
+    """
+    events: List[TimelineEvent] = []
+    gaps = coverage.complement()
+    for gap_start_s, gap_stop_s in zip(gaps.starts, gaps.stops):
+        gap_s = float(gap_stop_s - gap_start_s)
+        open_attrs = {"gap_s": gap_s}
+        if gap_start_s <= coverage.start_s:
+            open_attrs["at_run_start"] = True
+        close_attrs = {"gap_s": gap_s}
+        if gap_stop_s >= coverage.end_s:
+            close_attrs["at_run_end"] = True
+        events.append(
+            TimelineEvent(
+                t_s=float(gap_start_s),
+                kind=obs_timeline.GAP_OPEN,
+                subject=site,
+                attrs=open_attrs,
+            )
+        )
+        events.append(
+            TimelineEvent(
+                t_s=float(gap_stop_s),
                 kind=obs_timeline.GAP_CLOSE,
                 subject=site,
                 attrs=close_attrs,

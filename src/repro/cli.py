@@ -287,6 +287,13 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
         "chunk-invariant bit for bit",
     )
     parser.add_argument(
+        "--engine", default="grid", choices=("grid", "intervals"),
+        help="contact engine: 'grid' reduces the packed visibility tensor; "
+        "'intervals' reduces analytic (rise, set) windows refined by "
+        "root-finding (default: grid); an execution knob like --chunk-size — "
+        "both engines sample identical satellite subsets",
+    )
+    parser.add_argument(
         "--log-level", default=None, metavar="LEVEL", type=str.upper,
         choices=("DEBUG", "INFO", "WARNING", "ERROR", "CRITICAL"),
         help="diagnostic log level: DEBUG, INFO, WARNING, ERROR, CRITICAL "
@@ -469,7 +476,7 @@ def _run_list() -> int:
     print()
     print(
         "common flags (every experiment): "
-        "--runs --step --seed --duration --parallel"
+        "--runs --step --seed --duration --parallel --chunk-size --engine"
     )
     print("observability flags:")
     for flag, description in OBSERVABILITY_FLAGS:
@@ -529,6 +536,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.experiments.common import default_context
 
         default_context().chunk_size = args.chunk_size
+    if getattr(args, "engine", "grid") != "grid":
+        # Same contract as --chunk-size: the engine switch changes how
+        # contacts are computed, never which samples are drawn, so it stays
+        # out of ExperimentConfig and the golden config contract.
+        from repro.experiments.common import default_context
+
+        default_context().engine = args.engine
     if getattr(args, "timeline_cap", None):
         from repro.obs import timeline as obs_timeline
 

@@ -38,6 +38,7 @@ from repro.obs import get_logger, metrics
 from repro.obs.trace import span
 from repro.orbits.propagator import BatchPropagator
 from repro.sim.clock import TimeGrid
+from repro.sim.intervals import ContactIntervals, find_contact_intervals
 from repro.sim.kernels import SiteGeometry
 from repro.sim.visibility import PackedVisibility, packed_visibility
 
@@ -54,6 +55,16 @@ _VIS_LAST_BUILD = metrics.gauge("experiments.visibility_cache.last_build_s")
 _GEO_HITS = metrics.counter("experiments.geometry_cache.hits")
 _GEO_MISSES = metrics.counter("experiments.geometry_cache.misses")
 _GEO_EVICTIONS = metrics.counter("experiments.geometry_cache.evictions")
+_INT_HITS = metrics.counter("experiments.interval_cache.hits")
+_INT_MISSES = metrics.counter("experiments.interval_cache.misses")
+_INT_EVICTIONS = metrics.counter("experiments.interval_cache.evictions")
+_INT_BUILD_SECONDS = metrics.histogram("experiments.interval_cache.build_seconds")
+_INT_LAST_BUILD = metrics.gauge("experiments.interval_cache.last_build_s")
+
+#: Contact-evaluation engines a context can run experiments on.
+ENGINE_GRID = "grid"
+ENGINE_INTERVALS = "intervals"
+ENGINES = (ENGINE_GRID, ENGINE_INTERVALS)
 
 
 @dataclass(frozen=True)
@@ -125,15 +136,30 @@ class ExperimentContext:
             knob like ``parallel``: results are chunk-invariant, only peak
             memory changes (the CLI's ``--chunk-size`` sets it on the
             default context).
+        engine: Which contact representation scenario kernels reduce
+            over: ``"grid"`` (the packed dense tensor, default) or
+            ``"intervals"`` (analytic rise/set windows).  A context-level
+            execution knob like ``chunk_size`` — never part of
+            :class:`ExperimentConfig`, never in cache keys, set by the
+            CLI's ``--engine``.  The engines agree within one coarse-scan
+            step per contact edge (``oracle.intervals`` quantifies it).
     """
 
-    def __init__(self, chunk_size: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        chunk_size: Optional[int] = None,
+        engine: str = ENGINE_GRID,
+    ) -> None:
         if chunk_size is not None and chunk_size <= 0:
             raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        if engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
         self.chunk_size = chunk_size
+        self.engine = engine
         self._pools: Dict[int, Constellation] = {}
         self._propagators: Dict[int, BatchPropagator] = {}
         self._visibility: Dict[VisibilityKey, PackedVisibility] = {}
+        self._intervals: Dict[VisibilityKey, ContactIntervals] = {}
         self._geometry: Dict[
             Tuple[Tuple[GroundSite, ...], TimeGrid], SiteGeometry
         ] = {}
@@ -237,6 +263,52 @@ class ExperimentContext:
             _VIS_HITS.inc()
         return self._visibility[key]
 
+    def contact_intervals(
+        self, config: ExperimentConfig, pool_seed: int = 0
+    ) -> ContactIntervals:
+        """Analytic contact windows of the full pool at every site.
+
+        The intervals-engine sibling of :meth:`visibility`: the coarse
+        scan runs on the config's own grid (so both engines detect exactly
+        the same passes) and every edge is refined by root-finding.
+        Cached under the same key shape as the packed tensor.
+        """
+        key = visibility_cache_key(config, pool_seed)
+        if key not in self._intervals:
+            _INT_MISSES.inc()
+            _LOG.info(
+                "interval cache miss: finding contact windows "
+                "(pool_seed=%d step=%.0fs mask=%.1fdeg duration=%.0fs)",
+                *key,
+            )
+            sites = [
+                city.terminal(min_elevation_deg=config.min_elevation_deg)
+                for city in ALL_SITES
+            ]
+            grid = config.grid()
+            propagator = self.pool_propagator(pool_seed)
+            geometry = self.site_geometry(sites, grid)
+            start = time.perf_counter()
+            with span("intervals.build"):
+                self._intervals[key] = find_contact_intervals(
+                    propagator,
+                    sites,
+                    grid,
+                    geometry=geometry,
+                    chunk_size=self.chunk_size,
+                )
+            elapsed = time.perf_counter() - start
+            _INT_BUILD_SECONDS.observe(elapsed)
+            _INT_LAST_BUILD.set(elapsed)
+            _LOG.info(
+                "found %d contact windows in %.2f s",
+                self._intervals[key].n_contacts,
+                elapsed,
+            )
+        else:
+            _INT_HITS.inc()
+        return self._intervals[key]
+
     def install_visibility(
         self,
         config: ExperimentConfig,
@@ -289,9 +361,11 @@ class ExperimentContext:
         _POOL_EVICTIONS.inc(len(self._pools))
         _VIS_EVICTIONS.inc(len(self._visibility))
         _GEO_EVICTIONS.inc(len(self._geometry))
+        _INT_EVICTIONS.inc(len(self._intervals))
         self._pools.clear()
         self._propagators.clear()
         self._visibility.clear()
+        self._intervals.clear()
         self._geometry.clear()
 
 
@@ -361,4 +435,12 @@ def weighted_city_coverage_fraction(
 ) -> float:
     """Population-weighted coverage over the 21 cities for a pool subset."""
     fractions = visibility.coverage_fractions(sat_indices)
+    return float(city_weights() @ fractions[_CITY_ROWS])
+
+
+def weighted_city_coverage_from_intervals(
+    contacts: ContactIntervals, sat_indices: np.ndarray
+) -> float:
+    """:func:`weighted_city_coverage_fraction` on the intervals engine."""
+    fractions = contacts.coverage_fractions(sat_indices)
     return float(city_weights() @ fractions[_CITY_ROWS])

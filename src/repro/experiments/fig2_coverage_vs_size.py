@@ -15,16 +15,18 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
-from repro.analysis.gaps import gap_timeline_events
+from repro.analysis.gaps import gap_timeline_events, gap_timeline_events_from_intervals
 from repro.experiments.common import (
     ALL_SITES,
+    ENGINE_INTERVALS,
     ExperimentConfig,
     ExperimentContext,
     TAIPEI_INDEX,
 )
 from repro.runner import RunContext, Scenario, run_scenario
-from repro.sim.contacts import contact_events
+from repro.sim.contacts import contact_events, contact_events_from_intervals
 from repro.sim.coverage import gap_lengths_s
+from repro.sim.intervals import ContactIntervals
 
 #: Constellation sizes swept by default (the figure's x axis).
 DEFAULT_SIZES: Sequence[int] = (1, 10, 50, 100, 200, 500, 1000, 2000)
@@ -82,8 +84,21 @@ class Fig2Scenario(Scenario):
         return list(self.sizes)
 
     def run_one(self, ctx: RunContext, run_index: int) -> Tuple[float, float]:
-        visibility = ctx.visibility()
+        # The subset draw happens before any engine branch, so both
+        # engines evaluate identical satellite samples.
         indices = ctx.rng.choice(ctx.pool_size(), size=ctx.point, replace=False)
+        if ctx.engine == ENGINE_INTERVALS:
+            contacts = ctx.contacts()
+            union = contacts.site_union(TAIPEI_INDEX, indices)
+            uncovered = 100.0 * (1.0 - union.coverage_fraction)
+            gaps = union.gap_lengths_s()
+            max_gap = float(gaps.max()) if gaps.size else 0.0
+            if run_index == 0:
+                _narrate_run_intervals(
+                    contacts, indices, union, ctx.context.pool(ctx.pool_seed)
+                )
+            return (float(uncovered), max_gap)
+        visibility = ctx.visibility()
         mask = visibility.site_mask(TAIPEI_INDEX, indices)
         uncovered = 100.0 * (1.0 - mask.mean())
         gaps = gap_lengths_s(mask, ctx.config.grid().step_s)
@@ -141,3 +156,43 @@ def _narrate_run(visibility, indices, mask, grid, pool) -> None:
         return
     sat_ids = [pool[int(indices[row])].sat_id for row in active]
     contact_events(sat_masks[active][None, :, :], [site_name], sat_ids, grid)
+
+
+def _narrate_run_intervals(
+    contacts: ContactIntervals, indices, union, pool
+) -> None:
+    """Intervals-engine narration: same events, analytic edge times."""
+    site_name = ALL_SITES[TAIPEI_INDEX].name
+    gap_timeline_events_from_intervals(union, site=site_name)
+    traced: List[int] = []
+    for sat in indices:
+        if contacts.pair_count(TAIPEI_INDEX, int(sat)):
+            traced.append(int(sat))
+            if len(traced) == MAX_TRACED_SATELLITES:
+                break
+    if not traced:
+        return
+    sub = contacts  # full-pool container; select the traced pairs directly
+    contact_events_from_intervals_subset(sub, traced, site_name, pool)
+
+
+def contact_events_from_intervals_subset(
+    contacts: ContactIntervals, sat_indices, site_name: str, pool
+) -> None:
+    """Narrate the traced satellites' Taipei windows onto the timeline."""
+    from repro.sim.events import ContactEvent
+    from repro.sim.contacts import _narrate_events
+
+    events = []
+    for sat in sat_indices:
+        rises, falls, t_start, t_end = contacts.pair_windows(TAIPEI_INDEX, sat)
+        sat_id = pool[int(sat)].sat_id
+        events.extend(
+            ContactEvent(
+                site_name, sat_id, float(rise), float(fall),
+                truncated=bool(ts or te),
+            )
+            for rise, fall, ts, te in zip(rises, falls, t_start, t_end)
+        )
+    events.sort(key=lambda event: (event.start_s, event.site_name, event.sat_id))
+    _narrate_events(events)

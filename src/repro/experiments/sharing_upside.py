@@ -17,9 +17,11 @@ import numpy as np
 
 from repro.core.sharing import SharingUpside, sharing_upside
 from repro.experiments.common import (
+    ENGINE_INTERVALS,
     ExperimentConfig,
     ExperimentContext,
     weighted_city_coverage_fraction,
+    weighted_city_coverage_from_intervals,
 )
 from repro.runner import RunContext, Scenario, run_scenario
 
@@ -69,18 +71,29 @@ class SharingUpsideScenario(Scenario):
         return [*self.calibration_sizes, NETWORK_POINT]
 
     def run_one(self, ctx: RunContext, run_index: int) -> Any:
-        visibility = ctx.visibility()
+        if ctx.engine == ENGINE_INTERVALS:
+            contacts = ctx.contacts()
+
+            def coverage(indices: np.ndarray) -> float:
+                return float(
+                    weighted_city_coverage_from_intervals(contacts, indices)
+                )
+        else:
+            visibility = ctx.visibility()
+
+            def coverage(indices: np.ndarray) -> float:
+                return float(
+                    weighted_city_coverage_fraction(visibility, indices)
+                )
+
         if ctx.point == NETWORK_POINT:
             network = ctx.rng.choice(
                 ctx.pool_size(), size=self.network_size, replace=False
             )
             own = network[: self.contributed]
-            return (
-                float(weighted_city_coverage_fraction(visibility, own)),
-                float(weighted_city_coverage_fraction(visibility, network)),
-            )
+            return (coverage(own), coverage(network))
         indices = ctx.rng.choice(ctx.pool_size(), size=ctx.point, replace=False)
-        return float(weighted_city_coverage_fraction(visibility, indices))
+        return coverage(indices)
 
     def reduce(
         self,

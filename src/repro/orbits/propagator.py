@@ -299,6 +299,55 @@ class BatchPropagator:
         _STATE_EVALS.inc(out.shape[0] * out.shape[1])
         return out
 
+    def unit_positions_at(
+        self, sat_indices: np.ndarray, times_s: np.ndarray
+    ) -> np.ndarray:
+        """Unit ECI directions for paired (satellite, time) queries.
+
+        Unlike the grid methods above, which evaluate *every* satellite at
+        *every* time, this evaluates satellite ``sat_indices[k]`` at time
+        ``times_s[k]`` only — the access pattern of the contact-interval
+        root-finder, where each rise/set edge refines one (pair, time)
+        bracket.  Returns a (K, 3) array of unit vectors.
+        """
+        idx = np.asarray(sat_indices, dtype=np.intp)
+        times = np.asarray(times_s, dtype=np.float64)
+        if idx.shape != times.shape:
+            raise ValueError("sat_indices and times_s must have the same shape")
+        dt = times - self.epoch_s[idx]
+        raan = self.raan_rad[idx] + self.raan_rate[idx] * dt
+
+        if self.all_circular:
+            u = self._u0[idx] + self._u_rate[idx] * dt
+            cos_u = np.cos(u)
+            sin_u = np.sin(u)
+        else:
+            mean = self.mean_anomaly_rad[idx] + self.mean_anomaly_rate[idx] * dt
+            ecc = self.eccentricity[idx]
+            eccentric = solve_kepler_batch(mean, ecc)
+            cos_e = np.cos(eccentric)
+            sin_e = np.sin(eccentric)
+            one_minus = 1.0 - ecc * cos_e
+            cos_v = (cos_e - ecc) / one_minus
+            sin_v = np.sqrt(1.0 - ecc**2) * sin_e / one_minus
+            arg_perigee = self.arg_perigee_rad[idx] + self.arg_perigee_rate[idx] * dt
+            cos_w = np.cos(arg_perigee)
+            sin_w = np.sin(arg_perigee)
+            cos_u = cos_w * cos_v - sin_w * sin_v
+            sin_u = sin_w * cos_v + cos_w * sin_v
+
+        cos_o = np.cos(raan)
+        sin_o = np.sin(raan)
+        cos_i = self._cos_i[idx]
+        sin_i = self._sin_i[idx]
+        out = np.empty(times.shape + (3,))
+        sin_u_cos_i = sin_u * cos_i
+        out[..., 0] = cos_o * cos_u - sin_o * sin_u_cos_i
+        out[..., 1] = sin_o * cos_u + cos_o * sin_u_cos_i
+        out[..., 2] = sin_u * sin_i
+        _STATE_EVALS.inc(times.size)
+        return out
+
     def subset(self, indices: np.ndarray) -> "BatchPropagator":
         """Return a new propagator restricted to the given satellite indices."""
         clone = object.__new__(BatchPropagator)

@@ -165,6 +165,16 @@ class MonteCarloRunner:
             for run_index in range(scenario.runs_for(point, self.config))
         ]
         workers = min(self.parallel, len(tasks))
+        if workers > 1 and getattr(self.context, "engine", "grid") != "grid":
+            # The shared-memory export only covers the packed grid tensor;
+            # interval workers would each rebuild the windows (or pay a
+            # large pickle).  Results are engine-deterministic either way,
+            # so fall back to the serial path rather than fail.
+            _LOG.warning(
+                "%s: intervals engine has no shared-memory export; running "
+                "serially (requested %d workers)", scenario.name, workers,
+            )
+            workers = 1
         _WORKERS.set(workers)
         if self.bus.active:
             self.bus.publish(

@@ -40,9 +40,12 @@ from typing import Any, List, Sequence
 import numpy as np
 
 from repro.experiments.common import (
+    ENGINE_GRID,
+    ENGINE_INTERVALS,
     ExperimentConfig,
     ExperimentContext,
 )
+from repro.sim.intervals import ContactIntervals
 from repro.sim.visibility import PackedVisibility
 
 
@@ -90,6 +93,15 @@ class RunContext:
         """The packed visibility tensor for this run's configuration."""
         return self.context.visibility(self.config, self.pool_seed)
 
+    def contacts(self) -> ContactIntervals:
+        """The analytic contact intervals for this run's configuration."""
+        return self.context.contact_intervals(self.config, self.pool_seed)
+
+    @property
+    def engine(self) -> str:
+        """The context's contact engine (``"grid"`` or ``"intervals"``)."""
+        return getattr(self.context, "engine", ENGINE_GRID)
+
     def pool_size(self) -> int:
         """Number of satellites in the sampling pool."""
         return len(self.context.pool(self.pool_seed))
@@ -121,7 +133,10 @@ class Scenario(abc.ABC):
     def prepare(self, context: ExperimentContext, config: ExperimentConfig) -> None:
         """Build shared artifacts before any kernel runs (parent process)."""
         if self.uses_pool:
-            context.visibility(config)
+            if getattr(context, "engine", ENGINE_GRID) == ENGINE_INTERVALS:
+                context.contact_intervals(config)
+            else:
+                context.visibility(config)
 
     @abc.abstractmethod
     def sweep(

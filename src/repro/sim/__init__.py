@@ -7,6 +7,8 @@
 * :mod:`repro.sim.engine` — event-driven bent-pipe session simulator.
 * :mod:`repro.sim.traffic` — workload generation for the event simulator.
 * :mod:`repro.sim.contacts` — contact plans and pass statistics.
+* :mod:`repro.sim.intervals` — analytic (rise, set) contact windows and
+  the interval algebra behind the event-driven engine.
 * :mod:`repro.sim.scheduling` — satellite-to-ground downlink scheduling
   with pluggable antenna-assignment policies.
 * :mod:`repro.sim.isl_engine` — the bent-pipe engine with inter-satellite
@@ -21,12 +23,20 @@ from repro.sim.coverage import (
     gap_lengths_s,
     population_weighted_coverage_fraction,
 )
+from repro.sim.intervals import (
+    ContactIntervals,
+    IntervalSet,
+    find_contact_intervals,
+)
 from repro.sim.visibility import VisibilityEngine, visibility_matrix
 
 __all__ = [
     "TimeGrid",
     "VisibilityEngine",
     "visibility_matrix",
+    "ContactIntervals",
+    "IntervalSet",
+    "find_contact_intervals",
     "CoverageTimeline",
     "CoverageStats",
     "coverage_stats",

@@ -19,7 +19,26 @@ from repro.ground.sites import GroundSite
 from repro.obs import timeline as obs_timeline
 from repro.sim.clock import TimeGrid
 from repro.sim.events import ContactEvent, intervals_from_mask
+from repro.sim.intervals import ContactIntervals, find_contact_intervals
 from repro.sim.visibility import VisibilityEngine
+
+
+def _narrate_events(events: Sequence[ContactEvent]) -> None:
+    """Emit contact begin/end pairs onto the shared simulation timeline."""
+    for event in events:
+        obs_timeline.emit(
+            obs_timeline.CONTACT_BEGIN,
+            event.start_s,
+            event.sat_id,
+            site=event.site_name,
+            duration_hint_s=event.duration_s,
+        )
+        obs_timeline.emit(
+            obs_timeline.CONTACT_END,
+            event.stop_s,
+            event.sat_id,
+            site=event.site_name,
+        )
 
 
 def contact_events(
@@ -54,6 +73,12 @@ def contact_events(
     if visibility.shape[1] != len(sat_ids):
         raise ValueError(f"need {visibility.shape[1]} sat ids, got {len(sat_ids)}")
 
+    # A pass still open at the final sample has no observed set: close it
+    # at the horizon end (start + duration, which may lie beyond the last
+    # sample) and flag it truncated instead of pretending the satellite
+    # set at the last sampled instant.
+    sampled_end_s = grid.start_s + grid.step_s * visibility.shape[2]
+    horizon_end_s = grid.start_s + grid.duration_s
     events: List[ContactEvent] = []
     for site_index, site_name in enumerate(site_names):
         for sat_index, sat_id in enumerate(sat_ids):
@@ -63,22 +88,61 @@ def contact_events(
             for start_s, stop_s in intervals_from_mask(
                 mask, grid.step_s, grid.start_s
             ):
-                events.append(ContactEvent(site_name, sat_id, start_s, stop_s))
+                truncated = stop_s >= sampled_end_s
+                events.append(
+                    ContactEvent(
+                        site_name,
+                        sat_id,
+                        start_s,
+                        horizon_end_s if truncated else stop_s,
+                        truncated=truncated,
+                    )
+                )
     events.sort(key=lambda event: (event.start_s, event.site_name, event.sat_id))
-    for event in events:
-        obs_timeline.emit(
-            obs_timeline.CONTACT_BEGIN,
-            event.start_s,
-            event.sat_id,
-            site=event.site_name,
-            duration_hint_s=event.duration_s,
+    _narrate_events(events)
+    return events
+
+
+def contact_events_from_intervals(
+    contacts: ContactIntervals,
+    site_names: Sequence[str],
+    sat_ids: Sequence[str],
+) -> List[ContactEvent]:
+    """Contact events straight from analytic intervals — no grid replay.
+
+    Same ordering, narration, and truncation semantics as
+    :func:`contact_events`, but edges carry root-found rise/set times
+    instead of sample-quantized ones.  Horizon-truncated windows (either
+    edge) are flagged ``truncated``.
+    """
+    if contacts.n_sites != len(site_names):
+        raise ValueError(
+            f"need {contacts.n_sites} site names, got {len(site_names)}"
         )
-        obs_timeline.emit(
-            obs_timeline.CONTACT_END,
-            event.stop_s,
-            event.sat_id,
-            site=event.site_name,
+    if contacts.n_satellites != len(sat_ids):
+        raise ValueError(
+            f"need {contacts.n_satellites} sat ids, got {len(sat_ids)}"
         )
+    events: List[ContactEvent] = []
+    for site_index, site_name in enumerate(site_names):
+        for sat_index, sat_id in enumerate(sat_ids):
+            rises, falls, trunc_start, trunc_end = contacts.pair_windows(
+                site_index, sat_index
+            )
+            for rise, fall, t_start, t_end in zip(
+                rises, falls, trunc_start, trunc_end
+            ):
+                events.append(
+                    ContactEvent(
+                        site_name,
+                        sat_id,
+                        float(rise),
+                        float(fall),
+                        truncated=bool(t_start or t_end),
+                    )
+                )
+    events.sort(key=lambda event: (event.start_s, event.site_name, event.sat_id))
+    _narrate_events(events)
     return events
 
 
@@ -98,19 +162,31 @@ def pass_statistics(
 ) -> PassStatistics:
     """Aggregate pass statistics over a set of contact events.
 
+    An empty contact list is a legitimate outcome (a site no satellite
+    ever sees) and returns an all-zero :class:`PassStatistics` — no
+    ZeroDivision, no NaN from empty-array reductions.
+
     Raises:
         ValueError: On an empty horizon.
     """
-    durations = np.array([event.duration_s for event in events])
-    total = float(durations.sum()) if durations.size else 0.0
     days = grid.duration_s / 86_400.0
     if days <= 0.0:
         raise ValueError("grid horizon must be positive")
+    if not events:
+        return PassStatistics(
+            pass_count=0,
+            total_contact_s=0.0,
+            mean_pass_s=0.0,
+            max_pass_s=0.0,
+            contact_minutes_per_day=0.0,
+        )
+    durations = np.array([event.duration_s for event in events])
+    total = float(durations.sum())
     return PassStatistics(
         pass_count=int(durations.size),
         total_contact_s=total,
-        mean_pass_s=float(durations.mean()) if durations.size else 0.0,
-        max_pass_s=float(durations.max()) if durations.size else 0.0,
+        mean_pass_s=float(durations.mean()),
+        max_pass_s=float(durations.max()),
         contact_minutes_per_day=total / 60.0 / days,
     )
 
@@ -128,6 +204,28 @@ def contact_plan(
         [site.name for site in sites],
         [satellite.sat_id for satellite in constellation],
         grid,
+    )
+
+
+def contact_plan_intervals(
+    constellation: Constellation,
+    sites: Sequence[GroundSite],
+    grid: TimeGrid,
+    *,
+    tolerance_s: Optional[float] = None,
+) -> List[ContactEvent]:
+    """Event-driven :func:`contact_plan`: analytic windows, no dense tensor.
+
+    ``grid`` sets the coarse scan; edges are refined by root-finding, so
+    the returned start/stop times are sharp to the edge tolerance instead
+    of quantized to the sample step.
+    """
+    kwargs = {} if tolerance_s is None else {"tolerance_s": tolerance_s}
+    contacts = find_contact_intervals(constellation, sites, grid, **kwargs)
+    return contact_events_from_intervals(
+        contacts,
+        [site.name for site in sites],
+        [satellite.sat_id for satellite in constellation],
     )
 
 

@@ -38,12 +38,19 @@ def intervals_from_mask(mask: np.ndarray, step_s: float, start_s: float = 0.0) -
 
 @dataclass(frozen=True)
 class ContactEvent:
-    """A visibility window between a satellite and a ground site."""
+    """A visibility window between a satellite and a ground site.
+
+    ``truncated`` marks a pass clipped by the simulation horizon rather
+    than closed by a real set: the satellite was still visible at the
+    final sample, so ``stop_s`` is the horizon end, not an observed set
+    time.
+    """
 
     site_name: str
     sat_id: str
     start_s: float
     stop_s: float
+    truncated: bool = False
 
     @property
     def duration_s(self) -> float:

@@ -24,6 +24,11 @@ The invariants are physics the figures silently rely on:
   retrograde, batch rates equal to scalar rates.
 * ``kepler_wrap`` — Kepler solutions converge and agree scalar-vs-batch
   across mean anomalies spanning wrap boundaries.
+* ``interval_algebra`` — the :class:`~repro.sim.intervals.IntervalSet`
+  algebra on adversarial inputs (zero-length intervals, touching
+  endpoints, full-horizon contacts, empty sets): normalization,
+  De Morgan / complement identities, inclusion-exclusion, and
+  sample-membership against a brute-force point-in-interval loop.
 """
 
 from __future__ import annotations
@@ -177,7 +182,106 @@ def invariant_kepler_wrap(rng: np.random.Generator) -> None:
         )
 
 
+def invariant_interval_algebra(rng: np.random.Generator) -> None:
+    from repro.sim.intervals import IntervalSet
+
+    start_s = float(rng.uniform(-1_000.0, 1_000.0))
+    span = float(rng.uniform(10.0, 100_000.0))
+    end_s = start_s + span
+
+    def random_set() -> IntervalSet:
+        """An adversarial interval soup: zero-length windows, touching
+        endpoints, full-horizon contacts, and windows straddling (or
+        entirely outside) the horizon — everything normalization must
+        absorb."""
+        starts: List[float] = []
+        stops: List[float] = []
+        for _ in range(int(rng.integers(0, 10))):
+            kind = int(rng.integers(0, 4))
+            if kind == 0:  # zero-length (must be dropped)
+                at = float(rng.uniform(start_s, end_s))
+                starts.append(at)
+                stops.append(at)
+            elif kind == 1:  # the full horizon
+                starts.append(start_s)
+                stops.append(end_s)
+            elif kind == 2:  # straddles or misses the horizon (clipping)
+                a = float(rng.uniform(start_s - span, end_s + span))
+                starts.append(a)
+                stops.append(a + float(rng.uniform(0.0, span)))
+            else:  # interior window
+                a = float(rng.uniform(start_s, end_s))
+                starts.append(a)
+                stops.append(a + float(rng.uniform(0.0, end_s - a)))
+        if rng.random() < 0.5:  # a touching pair (must merge into one)
+            mid = float(rng.uniform(start_s, end_s))
+            width = float(rng.uniform(0.0, span / 4.0))
+            starts.extend([mid - width, mid])
+            stops.extend([mid, mid + width])
+        return IntervalSet(starts, stops, start_s, end_s)
+
+    a = random_set()
+    b = random_set()
+    empty = IntervalSet.empty(start_s, end_s)
+    full = IntervalSet.full(start_s, end_s)
+
+    # Normalization: clipped to the horizon, zero-length dropped, sorted,
+    # pairwise disjoint with touching neighbours merged.
+    for name, s in (("a", a), ("b", b)):
+        assert np.all(s.starts < s.stops), f"{name}: zero-length kept"
+        assert np.all(s.starts >= start_s) and np.all(s.stops <= end_s), (
+            f"{name}: not clipped to horizon"
+        )
+        assert np.all(s.starts[1:] > s.stops[:-1]), (
+            f"{name}: overlapping or touching neighbours survived"
+        )
+        assert math.isclose(
+            s.total_s, float(s.durations_s().sum()), abs_tol=1e-9
+        ), f"{name}: total_s != sum of durations"
+
+    # Complement: involution, and the empty/full poles map to each other.
+    assert a.complement().complement() == a, "complement not an involution"
+    assert empty.complement() == full, "complement of empty != full"
+    assert full.complement() == empty, "complement of full != empty"
+
+    # Lattice identities with the poles, idempotence, commutativity.
+    assert a.union(empty) == a and a.intersect(full) == a, "identity laws"
+    assert a.union(full) == full and a.intersect(empty) == empty, (
+        "absorption by the poles"
+    )
+    assert a.union(a) == a and a.intersect(a) == a, "idempotence"
+    assert a.union(b) == b.union(a), "union not commutative"
+    assert a.intersect(b) == b.intersect(a), "intersect not commutative"
+    assert a.union(a.complement()) == full, "A | ~A != full"
+    assert a.intersect(a.complement()) == empty, "A & ~A != empty"
+
+    # Inclusion-exclusion on measures.
+    lhs = a.union(b).total_s + a.intersect(b).total_s
+    assert math.isclose(lhs, a.total_s + b.total_s, abs_tol=1e-6), (
+        f"|A|+|B| = {a.total_s + b.total_s:.9f} != "
+        f"|A|B|+|A&B| = {lhs:.9f}"
+    )
+
+    # Pointwise semantics: membership sampling must match a brute-force
+    # point-in-interval loop, and distribute over union/intersection.
+    times = rng.uniform(start_s - 1.0, end_s + 1.0, size=48)
+    sampled = a.sample(times)
+    for t, got in zip(times, sampled):
+        manual = any(
+            lo <= t < hi for lo, hi in zip(a.starts, a.stops)
+        )
+        assert bool(got) == manual, f"sample({t}) = {got}, brute force {manual}"
+    assert np.array_equal(
+        a.union(b).sample(times), a.sample(times) | b.sample(times)
+    ), "union does not sample as OR"
+    assert np.array_equal(
+        a.intersect(b).sample(times), a.sample(times) & b.sample(times)
+    ), "intersect does not sample as AND"
+
+
 #: Registered invariants in a stable order (the index is the spawn key).
+#: Append only — the index feeds the replay spawn key, so reordering or
+#: inserting mid-list silently reseeds every later invariant.
 INVARIANTS: Dict[str, Invariant] = {
     "radius_bounds": invariant_radius_bounds,
     "unit_norms": invariant_unit_norms,
@@ -185,6 +289,7 @@ INVARIANTS: Dict[str, Invariant] = {
     "visibility_split": invariant_visibility_split,
     "raan_drift_sign": invariant_raan_drift_sign,
     "kepler_wrap": invariant_kepler_wrap,
+    "interval_algebra": invariant_interval_algebra,
 }
 
 

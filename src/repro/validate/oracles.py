@@ -25,6 +25,13 @@ depend on against an independent formulation of the same physics:
   site tracks) against reductions of the materialized unculled tensor,
   bit-exact across chunk sizes; the population is rigged so the cull
   genuinely fires.
+* :func:`check_interval_agreement` — the analytic contact-interval engine
+  of :mod:`repro.sim.intervals` against the dense grid engine: resampling
+  the refined (rise, set) windows at the grid instants must reproduce the
+  grid masks bit for bit (the coarse scan *is* the grid kernel, and
+  refinement is clamped to the bracketing step), while continuous-measure
+  reductions (coverage fractions, gap lengths) must agree within the
+  quantified budget of one time step per refined contact edge.
 """
 
 from __future__ import annotations
@@ -438,3 +445,140 @@ def check_fused_agreement(
     if mismatched:
         return failed("oracle.fused", **details)
     return passed("oracle.fused", **details)
+
+
+def check_interval_agreement(
+    seed: int,
+    n_satellites: int = 16,
+    n_sites: int = 5,
+    duration_s: float = 14_400.0,
+    step_s: float = 120.0,
+    tolerance_s: float = 0.01,
+) -> CheckResult:
+    """Analytic contact intervals vs the dense grid engine.
+
+    The interval engine's coarse scan *is* the grid kernel and each refined
+    edge is clamped to its bracketing scan step, so two classes of agreement
+    are checkable, one exact and one budgeted:
+
+    * **bit-exact where both engines sample the same instants** — for every
+      (site, satellite) pair, resampling the refined windows at the grid
+      times must reproduce the grid mask bit for bit; per-pair contact
+      (run) counts, per-site union masks, and per-site visible-satellite
+      counts must match exactly;
+    * **budgeted on continuous measures** — coverage fractions may differ
+      by at most one time step per refined contact edge (two edges per
+      window), and each coverage gap by at most ``2 * step_s``, because a
+      refined edge moves at most one step away from its scan sample while
+      staying inside the bracketing interval.
+
+    Runs an all-circular batch (the propagator fast path the refinement
+    evaluator also takes) and a mixed-eccentricity batch (the Kepler-solve
+    path).  Fails outright if no contact was ever found — a vacuously
+    green comparison is a broken check.
+    """
+    from repro.sim.coverage import gap_lengths_s
+    from repro.sim.intervals import find_contact_intervals
+
+    mismatches: List[str] = []
+    total_contacts = 0
+    samples = 0
+    for batch_name, eccentricity_ceiling in (
+        ("circular", 0.0),
+        ("eccentric", gen.MAX_DOMAIN_ECCENTRICITY),
+    ):
+        rng = gen.trial_rng(seed, 5, 0 if eccentricity_ceiling == 0.0 else 1)
+        elements = list(
+            gen.random_elements(rng, n_satellites, eccentricity_ceiling)
+        )
+        sites = gen.random_sites(rng, n_sites)
+        grid = TimeGrid(duration_s=duration_s, step_s=step_s)
+        propagator = BatchPropagator(elements)
+        reference = VisibilityEngine(grid).visibility(propagator, list(sites))
+        contacts = find_contact_intervals(
+            propagator, list(sites), grid, tolerance_s=tolerance_s
+        )
+        total_contacts += contacts.n_contacts
+        samples = int(grid.count)
+        times = grid.times_s
+        span_total = contacts.span_s
+
+        for s in range(len(sites)):
+            for n in range(len(elements)):
+                mask = reference[s, n]
+                pair = contacts.pair(s, n)
+                label = f"{batch_name}, site={s}, sat={n}"
+                if not np.array_equal(pair.sample(times), mask):
+                    mismatches.append(f"pair_resample ({label})")
+                runs = int(mask[0]) + int(
+                    np.count_nonzero(~mask[:-1] & mask[1:])
+                )
+                if contacts.pair_count(s, n) != runs:
+                    mismatches.append(
+                        f"contact_count ({label}): "
+                        f"{contacts.pair_count(s, n)} != {runs}"
+                    )
+                budget = 2.0 * pair.count * step_s / span_total
+                drift = abs(pair.coverage_fraction - float(mask.mean()))
+                if drift > budget:
+                    mismatches.append(
+                        f"pair_coverage ({label}): |{drift:.3e}| > {budget:.3e}"
+                    )
+
+            site_mask = reference[s].any(axis=0)
+            union = contacts.site_union(s)
+            label = f"{batch_name}, site={s}"
+            if not np.array_equal(union.sample(times), site_mask):
+                mismatches.append(f"union_resample ({label})")
+            if not np.array_equal(
+                contacts.sample_counts(times, s), reference[s].sum(axis=0)
+            ):
+                mismatches.append(f"visible_counts ({label})")
+            # Gap correspondence.  An interval gap containing >= 1 grid
+            # sample matches a grid gap one-to-one (in temporal order, by
+            # the resampling identity); a sample-free gap is a sub-step
+            # hand-off hole the grid cannot represent and must be shorter
+            # than the two-edge budget.
+            grid_gaps = gap_lengths_s(site_mask, step_s)
+            holes = union.complement()
+            sampled = (
+                np.searchsorted(times, holes.stops, side="left")
+                - np.searchsorted(times, holes.starts, side="left")
+            )
+            lengths = holes.durations_s()
+            visible_gaps = lengths[sampled > 0]
+            micro_gaps = lengths[sampled == 0]
+            if visible_gaps.size != grid_gaps.size:
+                mismatches.append(
+                    f"gap_count ({label}): "
+                    f"{visible_gaps.size} != {grid_gaps.size}"
+                )
+            elif grid_gaps.size and (
+                np.abs(visible_gaps - grid_gaps).max() > 2.0 * step_s
+            ):
+                mismatches.append(
+                    f"gap_lengths ({label}): worst drift "
+                    f"{np.abs(visible_gaps - grid_gaps).max():.2f} s "
+                    f"> {2.0 * step_s:.2f} s"
+                )
+            if micro_gaps.size and micro_gaps.max() >= 2.0 * step_s:
+                mismatches.append(
+                    f"micro_gaps ({label}): sample-free gap of "
+                    f"{micro_gaps.max():.2f} s >= {2.0 * step_s:.2f} s"
+                )
+
+    if total_contacts == 0:
+        mismatches.append("no contacts found: the comparison is vacuous")
+
+    details = {
+        "sites": n_sites,
+        "satellites": n_satellites,
+        "samples": samples,
+        "step_s": step_s,
+        "tolerance_s": tolerance_s,
+        "contacts": total_contacts,
+        "mismatches": mismatches,
+    }
+    if mismatches:
+        return failed("oracle.intervals", **details)
+    return passed("oracle.intervals", **details)

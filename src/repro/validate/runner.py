@@ -56,6 +56,10 @@ class ValidationProfile:
     fused_satellites: int
     fused_sites: int
     fused_chunk_sizes: tuple
+    intervals_satellites: int
+    intervals_sites: int
+    intervals_duration_s: float
+    intervals_step_s: float
 
 
 QUICK = ValidationProfile(
@@ -73,6 +77,10 @@ QUICK = ValidationProfile(
     fused_satellites=24,
     fused_sites=4,
     fused_chunk_sizes=(1, 13, 1_000_000),
+    intervals_satellites=12,
+    intervals_sites=4,
+    intervals_duration_s=14_400.0,
+    intervals_step_s=120.0,
 )
 
 FULL = ValidationProfile(
@@ -90,6 +98,10 @@ FULL = ValidationProfile(
     fused_satellites=96,
     fused_sites=8,
     fused_chunk_sizes=(1, 13, 64, 1_000_000),
+    intervals_satellites=32,
+    intervals_sites=8,
+    intervals_duration_s=86_400.0,
+    intervals_step_s=120.0,
 )
 
 PROFILES = {profile.name: profile for profile in (QUICK, FULL)}
@@ -178,6 +190,18 @@ def run_validation(
             ),
         )
     )
+    report.checks.append(
+        _run_check(
+            "oracle.intervals",
+            lambda: oracles.check_interval_agreement(
+                seed,
+                n_satellites=profile.intervals_satellites,
+                n_sites=profile.intervals_sites,
+                duration_s=profile.intervals_duration_s,
+                step_s=profile.intervals_step_s,
+            ),
+        )
+    )
 
     for name in fuzz.INVARIANTS:
         report.checks.append(
@@ -227,6 +251,11 @@ def _summarize_details(check: CheckResult) -> str:
             f"{len(details.get('chunk_sizes', []))} chunk sizes, "
             f"{details['culled_pairs']} pairs / "
             f"{details.get('culled_satellites', '?')} sats culled, "
+            f"{len(details.get('mismatches', []))} mismatches"
+        )
+    if check.name == "oracle.intervals" and "contacts" in details:
+        return (
+            f"{details['contacts']} contacts, "
             f"{len(details.get('mismatches', []))} mismatches"
         )
     if check.name.startswith("fuzz.") and "trials" in details:

@@ -1,0 +1,147 @@
+"""Engine-switch tests: experiments on analytic intervals vs the grid.
+
+The intervals engine must be a drop-in execution knob: identical RNG
+draws, the same sweep structure, and figure-level numbers that agree with
+the grid engine up to the documented one-step-per-edge budget (which
+shrinks as the scan step shrinks — the grid converges to the analytic
+answer, not the other way round).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import (
+    ENGINE_GRID,
+    ENGINE_INTERVALS,
+    ExperimentConfig,
+    ExperimentContext,
+)
+from repro.experiments.fig2_coverage_vs_size import Fig2Scenario
+from repro.experiments.fig3_idle_vs_cities import Fig3Scenario
+from repro.experiments.sharing_upside import SharingUpsideScenario
+from repro.runner import run_scenario
+
+#: Short horizon, moderate step: small enough for tests, fine enough that
+#: grid quantization stays within a few percentage points of analytic.
+CONFIG = ExperimentConfig(runs=2, step_s=120.0, seed=11, duration_s=21_600.0)
+
+
+@pytest.fixture(scope="module")
+def grid_context():
+    context = ExperimentContext(engine=ENGINE_GRID)
+    yield context
+    context.clear()
+
+
+@pytest.fixture(scope="module")
+def intervals_context():
+    context = ExperimentContext(engine=ENGINE_INTERVALS)
+    yield context
+    context.clear()
+
+
+class TestContextEngine:
+    def test_default_is_grid(self):
+        assert ExperimentContext().engine == ENGINE_GRID
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            ExperimentContext(engine="octree")
+
+    def test_interval_cache_hits(self, intervals_context):
+        config = ExperimentConfig(runs=1, step_s=900.0, duration_s=10_800.0)
+        a = intervals_context.contact_intervals(config)
+        b = intervals_context.contact_intervals(config)
+        assert a is b
+
+    def test_clear_releases_intervals(self, intervals_context):
+        config = ExperimentConfig(runs=1, step_s=900.0, duration_s=10_800.0)
+        a = intervals_context.contact_intervals(config)
+        intervals_context.clear()
+        b = intervals_context.contact_intervals(config)
+        assert a is not b
+
+
+class TestFig2OnIntervals:
+    def test_agrees_with_grid_within_budget(self, grid_context, intervals_context):
+        scenario = Fig2Scenario(sizes=(100, 500, 2000))
+        on_grid = run_scenario(scenario, CONFIG, context=grid_context)
+        on_intervals = run_scenario(scenario, CONFIG, context=intervals_context)
+        for g, i in zip(on_grid.points, on_intervals.points):
+            assert g.satellites == i.satellites
+            # Identical subsets; only edge quantization differs.
+            assert i.mean_uncovered_percent == pytest.approx(
+                g.mean_uncovered_percent, abs=3.0
+            )
+            assert i.mean_max_gap_s == pytest.approx(
+                g.mean_max_gap_s, abs=2.0 * CONFIG.step_s
+            )
+
+    def test_uncovered_decreases_with_size(self, intervals_context):
+        result = run_scenario(
+            Fig2Scenario(sizes=(50, 500, 2000)), CONFIG,
+            context=intervals_context,
+        )
+        uncovered = [p.mean_uncovered_percent for p in result.points]
+        assert uncovered == sorted(uncovered, reverse=True)
+
+    def test_deterministic(self, intervals_context):
+        scenario = Fig2Scenario(sizes=(100,))
+        a = run_scenario(scenario, CONFIG, context=intervals_context)
+        b = run_scenario(scenario, CONFIG, context=intervals_context)
+        assert a.points == b.points
+
+
+class TestFig3OnIntervals:
+    def test_agrees_with_grid_within_budget(self, grid_context, intervals_context):
+        scenario = Fig3Scenario(city_counts=(1, 21), sample_size=50)
+        on_grid = run_scenario(scenario, CONFIG, context=grid_context)
+        on_intervals = run_scenario(scenario, CONFIG, context=intervals_context)
+        for g, i in zip(on_grid.points, on_intervals.points):
+            assert g.cities == i.cities
+            assert i.mean_idle_percent == pytest.approx(
+                g.mean_idle_percent, abs=3.0
+            )
+
+    def test_idle_decreases_with_cities(self, intervals_context):
+        result = run_scenario(
+            Fig3Scenario(city_counts=(1, 10, 21), sample_size=50), CONFIG,
+            context=intervals_context,
+        )
+        idle = [p.mean_idle_percent for p in result.points]
+        assert idle == sorted(idle, reverse=True)
+
+
+class TestSharingOnIntervals:
+    def test_runs_end_to_end(self, intervals_context):
+        result = run_scenario(
+            SharingUpsideScenario(calibration_sizes=(10, 50, 200, 1000)),
+            CONFIG, context=intervals_context,
+        )
+        upside = result.upside
+        assert upside.shared_coverage_fraction > upside.alone_coverage_fraction
+        assert upside.satellite_multiplier > 1.0
+
+    def test_same_subsets_as_grid(self, grid_context, intervals_context):
+        """Both engines must draw identical satellite samples: the
+        calibration curve orderings match point for point."""
+        scenario = SharingUpsideScenario(calibration_sizes=(10, 100, 1000))
+        on_grid = run_scenario(scenario, CONFIG, context=grid_context)
+        on_intervals = run_scenario(scenario, CONFIG, context=intervals_context)
+        for (size_g, cov_g), (size_i, cov_i) in zip(
+            on_grid.calibration, on_intervals.calibration
+        ):
+            assert size_g == size_i
+            assert cov_i == pytest.approx(cov_g, abs=0.06)
+
+
+class TestParallelFallback:
+    def test_intervals_forces_serial(self, intervals_context):
+        """The intervals engine has no shared-memory export: a parallel
+        request must fall back to the in-process path, results unchanged."""
+        scenario = Fig3Scenario(city_counts=(1,), sample_size=20)
+        serial = run_scenario(scenario, CONFIG, context=intervals_context)
+        parallel = run_scenario(
+            scenario, CONFIG, context=intervals_context, parallel=2
+        )
+        assert serial.points == parallel.points

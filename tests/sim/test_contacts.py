@@ -72,12 +72,88 @@ class TestContactEvents:
             obs_timeline.reset()
 
 
+class TestTruncatedPasses:
+    def test_open_pass_closes_at_horizon_end(self):
+        # 630 s horizon sampled at 60 s: 10 samples, last at 540 s — the
+        # horizon end (630 s) lies beyond the last sampled instant.
+        grid = TimeGrid(duration_s=630.0, step_s=60.0)
+        visibility = np.zeros((1, 1, 10), dtype=bool)
+        visibility[0, 0, 7:] = True  # Still visible at the final sample.
+        events = contact_events(visibility, ["site"], ["A"], grid)
+        assert len(events) == 1
+        assert events[0].truncated
+        assert events[0].stop_s == 630.0  # start + duration, not last sample.
+
+    def test_interior_pass_is_not_truncated(self, grid):
+        visibility = np.zeros((1, 1, 10), dtype=bool)
+        visibility[0, 0, 2:5] = True
+        events = contact_events(visibility, ["site"], ["A"], grid)
+        assert len(events) == 1
+        assert not events[0].truncated
+
+    def test_truncated_duration_counted_to_horizon(self):
+        grid = TimeGrid(duration_s=630.0, step_s=60.0)
+        visibility = np.zeros((1, 1, 10), dtype=bool)
+        visibility[0, 0, 9:] = True
+        events = contact_events(visibility, ["site"], ["A"], grid)
+        assert events[0].start_s == 540.0
+        assert events[0].duration_s == pytest.approx(90.0)
+
+
+class TestContactEventsFromIntervals:
+    def test_matches_grid_events(self, small_walker):
+        from repro.sim.contacts import contact_plan_intervals
+
+        grid = TimeGrid.hours(3.0, step_s=60.0)
+        grid_events = contact_plan(small_walker, [TAIPEI.terminal()], grid)
+        interval_events = contact_plan_intervals(
+            small_walker, [TAIPEI.terminal()], grid
+        )
+        assert len(interval_events) == len(grid_events)
+        for grid_event, interval_event in zip(grid_events, interval_events):
+            assert interval_event.sat_id == grid_event.sat_id
+            assert interval_event.truncated == grid_event.truncated
+            # Analytic edges stay within one scan step of the grid edges.
+            assert abs(interval_event.start_s - grid_event.start_s) <= 60.0
+            assert abs(interval_event.stop_s - grid_event.stop_s) <= 60.0
+
+    def test_shape_validation(self, small_walker):
+        from repro.sim.contacts import contact_events_from_intervals
+        from repro.sim.intervals import find_contact_intervals
+
+        grid = TimeGrid.hours(1.0, step_s=60.0)
+        contacts = find_contact_intervals(
+            small_walker, [TAIPEI.terminal()], grid
+        )
+        with pytest.raises(ValueError, match="site names"):
+            contact_events_from_intervals(contacts, [], ["x"] * 40)
+        with pytest.raises(ValueError, match="sat ids"):
+            contact_events_from_intervals(contacts, ["taipei"], ["x"])
+
+
 class TestPassStatistics:
     def test_empty(self, grid):
         stats = pass_statistics([], grid)
         assert stats.pass_count == 0
         assert stats.total_contact_s == 0.0
+        assert stats.mean_pass_s == 0.0
+        assert stats.max_pass_s == 0.0
         assert stats.contact_minutes_per_day == 0.0
+
+    def test_empty_on_invisible_site(self, small_walker):
+        """A site no satellite ever sees yields zeroed statistics, not NaN."""
+        from repro.ground.sites import GroundSite
+
+        grid = TimeGrid.hours(1.0, step_s=60.0)
+        unreachable = GroundSite(
+            name="north-pole", latitude_deg=89.9, longitude_deg=0.0,
+            min_elevation_deg=85.0,
+        )
+        events = contact_plan(small_walker, [unreachable], grid)
+        stats = pass_statistics(events, grid)
+        assert events == []
+        assert stats.pass_count == 0
+        assert stats.mean_pass_s == 0.0
 
     def test_aggregation(self, grid):
         visibility = np.zeros((1, 1, 10), dtype=bool)

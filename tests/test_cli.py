@@ -74,6 +74,33 @@ class TestParser:
         assert args.trace_out is None
         assert args.track_memory is False
 
+    def test_engine_flag_parses(self):
+        assert build_parser().parse_args(["fig2"]).engine == "grid"
+        args = build_parser().parse_args(["fig2", "--engine", "intervals"])
+        assert args.engine == "intervals"
+
+    def test_engine_flag_rejects_unknown(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            build_parser().parse_args(["fig2", "--engine", "octree"])
+        assert exc_info.value.code == 2
+
+    def test_engine_flag_reaches_default_context(self, monkeypatch):
+        """--engine intervals flips the context knob before the experiment
+        runs, mirroring --chunk-size (never entering ExperimentConfig)."""
+        from repro import cli
+        from repro.experiments import common
+        from repro.experiments.common import ExperimentContext
+
+        scratch = ExperimentContext()
+        monkeypatch.setattr(common, "_DEFAULT_CONTEXT", scratch)
+        seen = {}
+        monkeypatch.setitem(
+            cli.EXPERIMENTS, "fig2",
+            lambda config: seen.setdefault("engine", scratch.engine),
+        )
+        assert main(["fig2", "--engine", "intervals"]) == 0
+        assert seen["engine"] == "intervals"
+
     def test_live_telemetry_flags_parse(self):
         args = build_parser().parse_args(
             [

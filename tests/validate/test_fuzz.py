@@ -26,6 +26,7 @@ class TestHarnessMechanics:
             "visibility_split",
             "raan_drift_sign",
             "kepler_wrap",
+            "interval_algebra",
         }
 
     def test_failures_are_collected_not_raised(self, monkeypatch):

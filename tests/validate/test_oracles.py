@@ -153,3 +153,61 @@ class TestGenerators:
         for site in sites:
             assert -85.0 <= site.latitude_deg <= 85.0
             assert 5.0 <= site.min_elevation_deg <= 40.0
+
+
+class TestIntervalOracle:
+    def test_passes_on_healthy_engines(self):
+        check = oracles.check_interval_agreement(
+            seed=7, n_satellites=8, n_sites=3,
+            duration_s=10_800.0, step_s=120.0,
+        )
+        assert check.ok, check.details["mismatches"]
+        assert check.details["contacts"] > 0
+        assert check.details["mismatches"] == []
+
+    def test_fails_without_refinement_budget(self, monkeypatch):
+        """Shifting every refined edge by two steps must trip the
+        resampling identity (teeth)."""
+        from repro.sim import intervals as intervals_module
+
+        original = intervals_module.find_contact_intervals
+
+        def corrupted(*args, **kwargs):
+            contacts = original(*args, **kwargs)
+            contacts.rise_s = contacts.rise_s + 240.0
+            contacts.set_s = contacts.set_s + 240.0
+            return contacts
+
+        monkeypatch.setattr(
+            intervals_module, "find_contact_intervals", corrupted
+        )
+        check = oracles.check_interval_agreement(
+            seed=7, n_satellites=8, n_sites=3,
+            duration_s=10_800.0, step_s=120.0,
+        )
+        assert not check.ok
+        assert any(
+            "pair_resample" in m for m in check.details["mismatches"]
+        )
+
+    def test_vacuous_comparison_fails(self, monkeypatch):
+        """Zero contacts (e.g. a broken scan) must fail, not pass."""
+        from repro.ground.sites import GroundSite
+
+        def unreachable_sites(rng, count):
+            return [
+                GroundSite(
+                    name=f"blind-{index}", latitude_deg=0.0,
+                    longitude_deg=float(index), min_elevation_deg=89.99,
+                )
+                for index in range(count)
+            ]
+
+        monkeypatch.setattr(gen, "random_sites", unreachable_sites)
+        check = oracles.check_interval_agreement(
+            seed=7, n_satellites=2, n_sites=1,
+            duration_s=3_600.0, step_s=600.0,
+        )
+        assert not check.ok
+        assert check.details["contacts"] == 0
+        assert any("vacuous" in m for m in check.details["mismatches"])

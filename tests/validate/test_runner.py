@@ -48,6 +48,9 @@ def stubbed_checks(monkeypatch):
     monkeypatch.setattr(oracles, "check_packed_agreement", stub("oracle.packed"))
     monkeypatch.setattr(oracles, "check_fused_agreement", stub("oracle.fused"))
     monkeypatch.setattr(
+        oracles, "check_interval_agreement", stub("oracle.intervals")
+    )
+    monkeypatch.setattr(
         fuzz, "run_invariant",
         lambda seed, name, trials: passed(f"fuzz.{name}", trials=trials),
     )
@@ -64,7 +67,7 @@ class TestRunValidation:
         names = [check.name for check in report.checks]
         expected = (
             ["oracle.propagator", "oracle.visibility", "oracle.packed",
-             "oracle.fused"]
+             "oracle.fused", "oracle.intervals"]
             + [f"fuzz.{name}" for name in fuzz.INVARIANTS]
             + [f"golden.{name}" for name in goldens.GOLDEN_EXPERIMENTS]
         )
