@@ -16,9 +16,13 @@ from repro.core.failures import (
 )
 from repro.experiments.common import (
     CITY_INDICES,
+    ENGINE_INTERVALS,
+    default_context,
+    pool_contact_intervals,
     pool_visibility,
     starlink_pool,
     weighted_city_coverage_fraction,
+    weighted_city_coverage_from_intervals,
 )
 
 FLEET = 500
@@ -26,7 +30,17 @@ HORIZON_YEARS = 5.0
 
 
 def _run(config):
-    visibility = pool_visibility(config)
+    if default_context().engine == ENGINE_INTERVALS:
+        contacts = pool_contact_intervals(config)
+
+        def coverage_of(indices):
+            return weighted_city_coverage_from_intervals(contacts, indices)
+    else:
+        visibility = pool_visibility(config)
+
+        def coverage_of(indices):
+            return weighted_city_coverage_fraction(visibility, indices)
+
     rng = config.rng(salt=104)
     pool_size = len(starlink_pool())
     fleet_indices = rng.choice(pool_size, size=FLEET, replace=False)
@@ -48,9 +62,7 @@ def _run(config):
         rows = []
         for point in points:
             alive_pool_indices = fleet_indices[point.alive_indices]
-            coverage = weighted_city_coverage_fraction(
-                visibility, alive_pool_indices
-            )
+            coverage = coverage_of(alive_pool_indices)
             rows.append((point.years, point.alive, coverage))
         trajectories[label] = rows
     return trajectories

@@ -323,29 +323,52 @@ class ExperimentContext:
         """
         self._visibility[visibility_cache_key(config, pool_seed)] = visibility
 
+    def install_intervals(
+        self,
+        config: ExperimentConfig,
+        contacts: ContactIntervals,
+        pool_seed: int = 0,
+    ) -> None:
+        """Seed the cache with externally built contact windows.
+
+        The intervals-engine sibling of :meth:`install_visibility`:
+        parallel workers attach the parent's CSR interval arrays from
+        shared memory (or receive a pickled copy on platforms without it)
+        and install them here, so ``ctx.contacts()`` hits the cache
+        instead of re-scanning the whole horizon per worker.
+        """
+        self._intervals[visibility_cache_key(config, pool_seed)] = contacts
+
     def cached_visibility(self) -> Dict[VisibilityKey, PackedVisibility]:
         """A copy of the live visibility cache (tests inspect keying)."""
         return dict(self._visibility)
+
+    def cached_intervals(self) -> Dict[VisibilityKey, ContactIntervals]:
+        """A copy of the live contact-interval cache (tests inspect keying)."""
+        return dict(self._intervals)
 
     def cached_pool_seeds(self) -> Tuple[int, ...]:
         return tuple(sorted(self._pools))
 
     def dispose_segments(self) -> None:
-        """Release shared-memory segments owned by cached tensors.
+        """Release shared-memory segments owned by cached artifacts.
 
-        A tensor whose ``segment`` is set was packed straight into a
+        An artifact whose ``segment`` is set was packed straight into a
         ``multiprocessing.shared_memory`` segment this context owns (the
-        parallel-runner path); its ``packed`` array is a view into that
-        segment, so callers must drop the tensor (:meth:`clear`) along with
-        the segment.  Idempotent; workers never own segments (their
-        attached tensors have ``segment is None``), so this never unlinks
-        memory out from under a sibling process.
+        parallel-runner path); its arrays are views into that segment, so
+        callers must drop the artifact (:meth:`clear`) along with the
+        segment.  Covers both the packed visibility tensors and the CSR
+        contact-interval arrays.  Idempotent; workers never own segments
+        (their attached artifacts have ``segment is None``), so this never
+        unlinks memory out from under a sibling process.
         """
-        for vis in self._visibility.values():
-            segment = getattr(vis, "segment", None)
+        cached = list(self._visibility.values())
+        cached.extend(self._intervals.values())
+        for artifact in cached:
+            segment = getattr(artifact, "segment", None)
             if segment is None:
                 continue
-            vis.segment = None
+            artifact.segment = None
             try:
                 segment.close()
             except OSError:  # pragma: no cover - already closed
@@ -403,6 +426,13 @@ def starlink_pool(seed: int = 0) -> Constellation:
 def pool_visibility(config: ExperimentConfig, pool_seed: int = 0) -> PackedVisibility:
     """The default context's packed visibility for ``config``."""
     return _DEFAULT_CONTEXT.visibility(config, pool_seed)
+
+
+def pool_contact_intervals(
+    config: ExperimentConfig, pool_seed: int = 0
+) -> ContactIntervals:
+    """The default context's analytic contact windows for ``config``."""
+    return _DEFAULT_CONTEXT.contact_intervals(config, pool_seed)
 
 
 def clear_caches() -> None:

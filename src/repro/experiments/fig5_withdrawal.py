@@ -16,9 +16,11 @@ from typing import List, Sequence, Tuple
 import numpy as np
 
 from repro.experiments.common import (
+    ENGINE_INTERVALS,
     ExperimentConfig,
     ExperimentContext,
     weighted_city_coverage_fraction,
+    weighted_city_coverage_from_intervals,
 )
 from repro.runner import RunContext, Scenario, run_scenario
 
@@ -66,13 +68,25 @@ class Fig5Scenario(Scenario):
         return list(self.sizes)
 
     def run_one(self, ctx: RunContext, run_index: int) -> float:
-        visibility = ctx.visibility()
+        if ctx.engine == ENGINE_INTERVALS:
+            contacts = ctx.contacts()
+
+            def coverage(indices: np.ndarray) -> float:
+                return float(
+                    weighted_city_coverage_from_intervals(contacts, indices)
+                )
+        else:
+            visibility = ctx.visibility()
+
+            def coverage(indices: np.ndarray) -> float:
+                return float(
+                    weighted_city_coverage_fraction(visibility, indices)
+                )
+
         withdraw = int(round(self.withdraw_fraction * ctx.point))
         base = ctx.rng.choice(ctx.pool_size(), size=ctx.point, replace=False)
         kept = ctx.rng.permutation(base)[withdraw:]
-        before = weighted_city_coverage_fraction(visibility, base)
-        after = weighted_city_coverage_fraction(visibility, kept)
-        return float(before - after)
+        return float(coverage(base) - coverage(kept))
 
     def reduce(
         self,

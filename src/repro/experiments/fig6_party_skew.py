@@ -19,9 +19,11 @@ import numpy as np
 
 from repro.core.party import contribution_ratio_split
 from repro.experiments.common import (
+    ENGINE_INTERVALS,
     ExperimentConfig,
     ExperimentContext,
     weighted_city_coverage_fraction,
+    weighted_city_coverage_from_intervals,
 )
 from repro.runner import RunContext, Scenario, run_scenario
 
@@ -79,7 +81,21 @@ class Fig6Scenario(Scenario):
         return contribution_ratio_split(self.total_satellites, ratios)[0]
 
     def run_one(self, ctx: RunContext, run_index: int) -> float:
-        visibility = ctx.visibility()
+        if ctx.engine == ENGINE_INTERVALS:
+            contacts = ctx.contacts()
+
+            def coverage(indices: np.ndarray) -> float:
+                return float(
+                    weighted_city_coverage_from_intervals(contacts, indices)
+                )
+        else:
+            visibility = ctx.visibility()
+
+            def coverage(indices: np.ndarray) -> float:
+                return float(
+                    weighted_city_coverage_fraction(visibility, indices)
+                )
+
         largest = self._largest_party_count(ctx.point)
         base = ctx.rng.choice(
             ctx.pool_size(), size=self.total_satellites, replace=False
@@ -88,9 +104,7 @@ class Fig6Scenario(Scenario):
         # largest party's satellites; the rest stay.
         shuffled = ctx.rng.permutation(base)
         kept = shuffled[largest:]
-        before = weighted_city_coverage_fraction(visibility, base)
-        after = weighted_city_coverage_fraction(visibility, kept)
-        return float(before - after)
+        return float(coverage(base) - coverage(kept))
 
     def reduce(
         self,

@@ -21,12 +21,15 @@ objects, and figure rows are byte-identical for every N.
 Parallel execution
 ------------------
 
-Workers are plain ``multiprocessing`` pool processes.  The packed
-visibility tensor — the ~100 MB artifact every kernel reads — is exported
-once through :mod:`multiprocessing.shared_memory`
-(:mod:`repro.runner.shared`) and installed into each worker's
+Workers are plain ``multiprocessing`` pool processes.  The engine's world
+state — the ~100 MB packed visibility tensor on the grid engine, the CSR
+contact-window arrays on the intervals engine — is exported once through
+:mod:`multiprocessing.shared_memory` (:mod:`repro.runner.shared`) and
+installed into each worker's
 :class:`~repro.experiments.common.ExperimentContext` at pool startup, so
-spawning N workers costs N page-table mappings, not N tensor pickles.
+spawning N workers costs N page-table mappings, not N artifact pickles
+(on platforms without shared memory the intervals engine degrades to a
+pickle copy; results are identical either way).
 
 Each repetition runs inside a worker-local observability capture: its span
 records, metric deltas, and simulation-timeline events travel back with the
@@ -63,6 +66,8 @@ import time
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.experiments.common import (
+    ENGINE_GRID,
+    ENGINE_INTERVALS,
     ExperimentConfig,
     ExperimentContext,
     default_context,
@@ -75,8 +80,12 @@ from repro.obs.timeline import TimelineEvent
 from repro.obs.trace import span
 from repro.runner.scenario import RunContext, Scenario, run_rng
 from repro.runner.shared import (
+    PickledIntervalsFallback,
+    SharedIntervalsHandle,
     SharedVisibilityHandle,
+    attach_contact_intervals,
     attach_packed_visibility,
+    ensure_shared_intervals,
     ensure_shared_visibility,
     unlink_shared_visibility,
 )
@@ -165,16 +174,6 @@ class MonteCarloRunner:
             for run_index in range(scenario.runs_for(point, self.config))
         ]
         workers = min(self.parallel, len(tasks))
-        if workers > 1 and getattr(self.context, "engine", "grid") != "grid":
-            # The shared-memory export only covers the packed grid tensor;
-            # interval workers would each rebuild the windows (or pay a
-            # large pickle).  Results are engine-deterministic either way,
-            # so fall back to the serial path rather than fail.
-            _LOG.warning(
-                "%s: intervals engine has no shared-memory export; running "
-                "serially (requested %d workers)", scenario.name, workers,
-            )
-            workers = 1
         _WORKERS.set(workers)
         if self.bus.active:
             self.bus.publish(
@@ -270,7 +269,10 @@ class MonteCarloRunner:
             with mp_context.Pool(
                 processes=workers,
                 initializer=_init_worker,
-                initargs=(scenario, self.config, points, handle, POOL_SEED),
+                initargs=(
+                    scenario, self.config, points, handle, POOL_SEED,
+                    getattr(self.context, "engine", ENGINE_GRID),
+                ),
             ) as pool:
                 payloads = pool.map(_run_task, tasks, chunksize=chunksize)
         finally:
@@ -279,9 +281,16 @@ class MonteCarloRunner:
         return self._merge_payloads(payloads)
 
     def _shared_handle(self, scenario: Scenario):
-        """The shared-memory visibility handle for pool scenarios (or None)."""
+        """The shared-memory world-state handle for pool scenarios (or None).
+
+        Engine-dependent: the grid engine exports the packed visibility
+        tensor, the intervals engine the CSR contact-window arrays (with a
+        pickle-copy fallback when shared memory is unavailable).
+        """
         if not scenario.uses_pool:
             return None, None
+        if getattr(self.context, "engine", ENGINE_GRID) == ENGINE_INTERVALS:
+            return ensure_shared_intervals(self.context, self.config, POOL_SEED)
         # Cache-aware: on a miss the tensor is chunk-streamed straight
         # into a context-owned segment (no copy); ``segment`` is only
         # returned — and unlinked by the caller — for the copy fallback.
@@ -344,6 +353,7 @@ class MonteCarloRunner:
             initializer=_init_worker,
             initargs=(
                 scenario, self.config, points, handle, POOL_SEED,
+                getattr(self.context, "engine", ENGINE_GRID),
                 channel, bus.heartbeat_s,
             ),
         )
@@ -642,22 +652,34 @@ def _init_worker(
     scenario: Scenario,
     config: ExperimentConfig,
     points: List[Any],
-    handle: Optional[SharedVisibilityHandle],
+    handle: Any,
     pool_seed: int,
+    engine: str = ENGINE_GRID,
     channel: Optional[obs_bus.BusChannel] = None,
     heartbeat_s: float = obs_bus.DEFAULT_HEARTBEAT_S,
 ) -> None:
-    """Pool initializer: private context, shared tensor attached (no copy).
+    """Pool initializer: private context, shared world state attached.
 
-    In live mode (``channel`` given) the worker also announces itself on
-    the bus and starts the daemon heartbeat thread.
+    ``handle`` selects what gets installed: a
+    :class:`~repro.runner.shared.SharedVisibilityHandle` attaches the
+    packed tensor, a :class:`~repro.runner.shared.SharedIntervalsHandle`
+    attaches the CSR contact windows (both zero-copy), and a
+    :class:`~repro.runner.shared.PickledIntervalsFallback` installs the
+    windows it carried by value.  In live mode (``channel`` given) the
+    worker also announces itself on the bus and starts the daemon
+    heartbeat thread.
     """
     global _WORKER
-    context = ExperimentContext()
+    context = ExperimentContext(engine=engine)
     segment = None
-    if handle is not None:
+    if isinstance(handle, SharedVisibilityHandle):
         segment, visibility = attach_packed_visibility(handle)
         context.install_visibility(config, visibility, pool_seed=pool_seed)
+    elif isinstance(handle, SharedIntervalsHandle):
+        segment, contacts = attach_contact_intervals(handle)
+        context.install_intervals(config, contacts, pool_seed=pool_seed)
+    elif isinstance(handle, PickledIntervalsFallback):
+        context.install_intervals(config, handle.contacts, pool_seed=pool_seed)
     publisher = None
     if channel is not None:
         publisher = obs_bus.WorkerPublisher(channel, f"worker-{os.getpid()}")

@@ -1,4 +1,4 @@
-"""Zero-copy visibility sharing for parallel Monte-Carlo workers.
+"""Zero-copy world-state sharing for parallel Monte-Carlo workers.
 
 The packed visibility tensor of the full synthetic Starlink pool is the one
 big experiment artifact (~100 MB for a week at 60 s steps).  Pickling it to
@@ -14,6 +14,15 @@ The :class:`SharedVisibilityHandle` is a tiny picklable descriptor (name +
 shape + grid); the segment itself never crosses the pipe.  The parent owns
 the segment's lifetime: close+unlink in a ``finally`` via
 :func:`unlink_shared_visibility` once the pool has joined.
+
+The intervals engine shares the same way: the five CSR arrays of a
+:class:`~repro.sim.intervals.ContactIntervals` (rise/set times, truncation
+flags, pair offsets) are packed back to back into ONE segment at fixed
+offsets (:func:`_intervals_layout`), and workers rebuild the object from
+zero-copy views (:func:`attach_contact_intervals`).  When shared memory is
+unavailable, :func:`ensure_shared_intervals` degrades to a
+:class:`PickledIntervalsFallback` that ships the windows by value through
+the pool initializer — correct either way, only startup cost differs.
 """
 
 from __future__ import annotations
@@ -32,6 +41,7 @@ from repro.experiments.common import (
 )
 from repro.obs import get_logger
 from repro.sim.clock import TimeGrid
+from repro.sim.intervals import ContactIntervals
 from repro.sim.visibility import PackedVisibility
 
 _LOG = get_logger(__name__)
@@ -154,6 +164,168 @@ def ensure_shared_visibility(
         segments[0].name, segments[0].size / 1e6,
     )
     return _handle_for(visibility), None
+
+
+@dataclass(frozen=True)
+class SharedIntervalsHandle:
+    """Picklable descriptor of a shared contact-intervals segment."""
+
+    shm_name: str
+    n_sites: int
+    n_satellites: int
+    start_s: float
+    end_s: float
+    n_contacts: int
+
+    @property
+    def nbytes(self) -> int:
+        _, total = _intervals_layout(
+            self.n_sites, self.n_satellites, self.n_contacts
+        )
+        return total
+
+
+@dataclass(frozen=True)
+class PickledIntervalsFallback:
+    """Pickle-copy fallback handle when shared memory is unavailable.
+
+    Carries the :class:`ContactIntervals` by value through the pool
+    initializer — each worker gets a private copy.  Windows are small
+    (tens of MB at megaconstellation scale vs ~100 MB+ for the packed
+    tensor), so the copy is an acceptable degradation, never a
+    correctness change.
+    """
+
+    contacts: ContactIntervals
+
+
+def _intervals_layout(n_sites: int, n_satellites: int, n_contacts: int):
+    """Byte layout of one CSR-interval segment: {array: (offset, dtype, count)}.
+
+    The five arrays are packed back to back in a fixed order; every array
+    starts at an 8-byte-aligned offset because the float64/int64 arrays
+    come first and the bool arrays last.
+    """
+    layout = {}
+    cursor = 0
+    for name, dtype, count in (
+        ("rise_s", np.float64, n_contacts),
+        ("set_s", np.float64, n_contacts),
+        ("pair_offsets", np.int64, n_sites * n_satellites + 1),
+        ("truncated_start", np.bool_, n_contacts),
+        ("truncated_end", np.bool_, n_contacts),
+    ):
+        layout[name] = (cursor, np.dtype(dtype), int(count))
+        cursor += np.dtype(dtype).itemsize * int(count)
+    return layout, cursor
+
+
+def _intervals_views(
+    segment: shared_memory.SharedMemory, handle: SharedIntervalsHandle
+) -> dict:
+    layout, _ = _intervals_layout(
+        handle.n_sites, handle.n_satellites, handle.n_contacts
+    )
+    return {
+        name: np.ndarray(
+            (count,), dtype=dtype, buffer=segment.buf, offset=offset
+        )
+        for name, (offset, dtype, count) in layout.items()
+    }
+
+
+def _intervals_handle_for(
+    contacts: ContactIntervals, shm_name: str
+) -> SharedIntervalsHandle:
+    return SharedIntervalsHandle(
+        shm_name=shm_name,
+        n_sites=contacts.n_sites,
+        n_satellites=contacts.n_satellites,
+        start_s=contacts.start_s,
+        end_s=contacts.end_s,
+        n_contacts=contacts.n_contacts,
+    )
+
+
+def share_contact_intervals(
+    contacts: ContactIntervals,
+) -> Tuple[shared_memory.SharedMemory, SharedIntervalsHandle]:
+    """Copy CSR interval arrays into one shared segment; (segment, handle).
+
+    Same ownership contract as :func:`share_packed_visibility`: the caller
+    keeps the segment alive while workers run and releases it afterwards
+    (:func:`unlink_shared_visibility` works on any segment).
+    """
+    _, total = _intervals_layout(
+        contacts.n_sites, contacts.n_satellites, contacts.n_contacts
+    )
+    segment = shared_memory.SharedMemory(create=True, size=max(1, total))
+    handle = _intervals_handle_for(contacts, segment.name)
+    for name, view in _intervals_views(segment, handle).items():
+        view[:] = getattr(contacts, name)
+    _LOG.info(
+        "shared contact intervals %s: %.1f MB, %d windows",
+        segment.name, total / 1e6, contacts.n_contacts,
+    )
+    return segment, handle
+
+
+def attach_contact_intervals(
+    handle: SharedIntervalsHandle,
+) -> Tuple[shared_memory.SharedMemory, ContactIntervals]:
+    """Map a shared interval segment; returns (segment, contacts) — no copy.
+
+    As with :func:`attach_packed_visibility`, the worker must keep the
+    segment referenced while the contacts are in use and must never
+    ``unlink()`` it: the parent owns the segment.
+    """
+    segment = _attach_untracked(handle.shm_name)
+    views = _intervals_views(segment, handle)
+    contacts = ContactIntervals(
+        n_sites=handle.n_sites,
+        n_satellites=handle.n_satellites,
+        start_s=handle.start_s,
+        end_s=handle.end_s,
+        rise_s=views["rise_s"],
+        set_s=views["set_s"],
+        truncated_start=views["truncated_start"],
+        truncated_end=views["truncated_end"],
+        pair_offsets=views["pair_offsets"],
+    )
+    return segment, contacts
+
+
+def ensure_shared_intervals(
+    context: ExperimentContext,
+    config: ExperimentConfig,
+    pool_seed: int = 0,
+):
+    """A shareable handle for the context's contact intervals.
+
+    Returns ``(handle, owned_segment)`` with the same caller contract as
+    :func:`ensure_shared_visibility` (``owned_segment`` is always None
+    here: interval segments are small, so the context adopts them and
+    later runs against the same config reuse the mapping for free).  The
+    cached object's CSR arrays are rebound onto the segment views, so the
+    shared copy is the only resident one.  If the platform refuses shared
+    memory, degrades to a :class:`PickledIntervalsFallback`.
+    """
+    contacts = context.contact_intervals(config, pool_seed)
+    if contacts.segment is not None:
+        return _intervals_handle_for(contacts, contacts.segment.name), None
+    try:
+        segment, handle = share_contact_intervals(contacts)
+    except OSError as error:
+        _LOG.warning(
+            "shared memory unavailable (%s); pickling %d contact windows "
+            "to workers instead", error, contacts.n_contacts,
+        )
+        return PickledIntervalsFallback(contacts), None
+    for name, view in _intervals_views(segment, handle).items():
+        setattr(contacts, name, view)
+    contacts.segment = segment
+    _register_segment_owner(context)
+    return handle, None
 
 
 def unlink_shared_visibility(segment: shared_memory.SharedMemory) -> None:

@@ -6,6 +6,13 @@ when at least one user terminal is inside its footprint, and *idle*
 otherwise.  With the spare-capacity sharing of MP-LEO the same accounting
 splits an active satellite's time between serving its owner's terminals and
 serving other parties' terminals.
+
+Every accountant here has two front-ends: one over a dense (S, N, T)
+visibility tensor (grid engine) and an ``*_intervals`` sibling over
+:class:`~repro.sim.intervals.ContactIntervals` (intervals engine).  The
+interval variants measure continuous time via union sweeps instead of
+counting samples, so they agree with the grid within the usual one-scan-step
+contract rather than bit-for-bit.
 """
 
 from __future__ import annotations
@@ -16,6 +23,7 @@ from typing import Dict, List, Sequence
 import numpy as np
 
 from repro.sim.clock import TimeGrid
+from repro.sim.intervals import ContactIntervals
 
 
 @dataclass(frozen=True)
@@ -51,6 +59,24 @@ def utilization_from_visibility(visibility: np.ndarray) -> UtilizationStats:
     return UtilizationStats(
         mean_idle_fraction=float(idle_fraction.mean()),
         mean_active_fraction=float(active_fraction.mean()),
+        per_satellite_idle_fraction=idle_fraction,
+    )
+
+
+def utilization_from_intervals(contacts: ContactIntervals) -> UtilizationStats:
+    """Utilization statistics from analytic contact windows.
+
+    The continuous-time analogue of :func:`utilization_from_visibility`:
+    a satellite is active while any terminal's contact window covers the
+    instant, measured exactly by a per-satellite union sweep.
+    """
+    active_fraction = contacts.satellite_active_fractions()
+    idle_fraction = 1.0 - active_fraction
+    return UtilizationStats(
+        mean_idle_fraction=float(idle_fraction.mean()) if idle_fraction.size else 0.0,
+        mean_active_fraction=(
+            float(active_fraction.mean()) if active_fraction.size else 0.0
+        ),
         per_satellite_idle_fraction=idle_fraction,
     )
 
@@ -128,12 +154,63 @@ def spare_capacity_split(
     return SpareCapacityLedger(own_fraction, spare_fraction, idle_fraction)
 
 
+def spare_capacity_split_intervals(
+    contacts: ContactIntervals,
+    terminal_parties: Sequence[str],
+    satellite_parties: Sequence[str],
+) -> SpareCapacityLedger:
+    """Interval-native own-use / spare-use / idle split.
+
+    Same semantics as :func:`spare_capacity_split` in continuous time.
+    Because the owner's serving time is a subset of the any-terminal
+    serving time, spare time is measured as the difference of the two
+    union sweeps — no explicit ``any & ~own`` mask is needed.
+    """
+    if len(terminal_parties) != contacts.n_sites:
+        raise ValueError(
+            f"need {contacts.n_sites} terminal parties, got {len(terminal_parties)}"
+        )
+    if len(satellite_parties) != contacts.n_satellites:
+        raise ValueError(
+            f"need {contacts.n_satellites} satellite parties,"
+            f" got {len(satellite_parties)}"
+        )
+    span = contacts.span_s
+    terminal_party_array = np.array(terminal_parties)
+    sat_count = contacts.n_satellites
+    own_fraction = np.zeros(sat_count)
+    spare_fraction = np.zeros(sat_count)
+    idle_fraction = np.ones(sat_count)
+    if span == 0.0:
+        return SpareCapacityLedger(
+            np.zeros(sat_count), np.zeros(sat_count), np.ones(sat_count)
+        )
+    for sat_index, sat_party in enumerate(satellite_parties):
+        own_terminals = np.flatnonzero(terminal_party_array == sat_party)
+        any_s = contacts.satellite_union(sat_index).total_s
+        own_s = (
+            contacts.satellite_union(sat_index, site_indices=own_terminals).total_s
+            if own_terminals.size
+            else 0.0
+        )
+        own_fraction[sat_index] = own_s / span
+        spare_fraction[sat_index] = (any_s - own_s) / span
+        idle_fraction[sat_index] = 1.0 - any_s / span
+    return SpareCapacityLedger(own_fraction, spare_fraction, idle_fraction)
+
+
 def idle_time_hours(
     visibility: np.ndarray, grid: TimeGrid
 ) -> np.ndarray:
     """Per-satellite idle time in hours over the grid horizon."""
     stats = utilization_from_visibility(visibility)
     return stats.per_satellite_idle_fraction * grid.duration_s / 3600.0
+
+
+def idle_time_hours_from_intervals(contacts: ContactIntervals) -> np.ndarray:
+    """Per-satellite idle time in hours from analytic contact windows."""
+    stats = utilization_from_intervals(contacts)
+    return stats.per_satellite_idle_fraction * contacts.span_s / 3600.0
 
 
 def party_capacity_shares(
@@ -149,6 +226,24 @@ def party_capacity_shares(
         no satellites are omitted.
     """
     ledger = spare_capacity_split(visibility, terminal_parties, satellite_parties)
+    return _shares_from_ledger(ledger, satellite_parties)
+
+
+def party_capacity_shares_intervals(
+    contacts: ContactIntervals,
+    terminal_parties: Sequence[str],
+    satellite_parties: Sequence[str],
+) -> Dict[str, Dict[str, float]]:
+    """Interval-native :func:`party_capacity_shares`."""
+    ledger = spare_capacity_split_intervals(
+        contacts, terminal_parties, satellite_parties
+    )
+    return _shares_from_ledger(ledger, satellite_parties)
+
+
+def _shares_from_ledger(
+    ledger: SpareCapacityLedger, satellite_parties: Sequence[str]
+) -> Dict[str, Dict[str, float]]:
     shares: Dict[str, Dict[str, float]] = {}
     parties = np.array(satellite_parties)
     for party in sorted(set(satellite_parties)):

@@ -289,6 +289,11 @@ class ContactIntervals:
     flat ``rise_s`` / ``set_s`` arrays (sorted by rise within each pair).
     ``truncated_start`` / ``truncated_end`` flag windows clipped by the
     horizon rather than closed by a real elevation crossing.
+
+    ``segment`` is set when the CSR arrays are views into a
+    ``multiprocessing.shared_memory`` segment this object's owning context
+    holds (see :func:`repro.runner.shared.ensure_shared_intervals`); it is
+    process-local state and never pickles.
     """
 
     __slots__ = (
@@ -301,6 +306,7 @@ class ContactIntervals:
         "truncated_start",
         "truncated_end",
         "pair_offsets",
+        "segment",
     )
 
     def __init__(
@@ -324,9 +330,24 @@ class ContactIntervals:
         self.truncated_start = truncated_start
         self.truncated_end = truncated_end
         self.pair_offsets = pair_offsets
+        self.segment = None
         expected = self.n_sites * self.n_satellites + 1
         if pair_offsets.shape != (expected,):
             raise ValueError("pair_offsets length must be n_sites*n_sats + 1")
+
+    def __getstate__(self):
+        # Shared-memory segments are process-local handles; the pickle-copy
+        # fallback of the parallel runner ships the arrays by value instead.
+        return {
+            name: getattr(self, name)
+            for name in self.__slots__
+            if name != "segment"
+        }
+
+    def __setstate__(self, state) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
+        self.segment = None
 
     @property
     def n_contacts(self) -> int:

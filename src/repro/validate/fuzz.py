@@ -29,6 +29,11 @@ The invariants are physics the figures silently rely on:
   endpoints, full-horizon contacts, empty sets): normalization,
   De Morgan / complement identities, inclusion-exclusion, and
   sample-membership against a brute-force point-in-interval loop.
+* ``intervals_shm_roundtrip`` — exporting a random
+  :class:`~repro.sim.intervals.ContactIntervals` into shared memory and
+  attaching it back is bit-exact (offsets, times, flags), zero-copy
+  (attached arrays are segment views), and the pickle fallback never
+  ships a process-local segment handle.
 """
 
 from __future__ import annotations
@@ -279,6 +284,86 @@ def invariant_interval_algebra(rng: np.random.Generator) -> None:
     ), "intersect does not sample as AND"
 
 
+def invariant_intervals_shm_roundtrip(rng: np.random.Generator) -> None:
+    import pickle
+
+    from repro.runner.shared import (
+        attach_contact_intervals,
+        share_contact_intervals,
+    )
+    from repro.sim.intervals import ContactIntervals
+
+    n_sites = int(rng.integers(1, 5))
+    n_sats = int(rng.integers(1, 7))
+    start_s = float(rng.uniform(-1_000.0, 1_000.0))
+    span = float(rng.uniform(10.0, 100_000.0))
+    end_s = start_s + span
+
+    # A random CSR window soup: per-pair counts from 0 (including the
+    # all-empty contacts that exercise the 1-byte-segment guard) with
+    # sorted rises and random truncation flags.
+    counts = rng.integers(0, 5, size=n_sites * n_sats)
+    offsets = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+    total = int(offsets[-1])
+    rises = np.empty(total)
+    sets = np.empty(total)
+    for pair in range(n_sites * n_sats):
+        lo, hi = offsets[pair], offsets[pair + 1]
+        pair_rises = np.sort(rng.uniform(start_s, end_s, size=hi - lo))
+        rises[lo:hi] = pair_rises
+        sets[lo:hi] = pair_rises + rng.uniform(0.0, span / 10.0, size=hi - lo)
+    contacts = ContactIntervals(
+        n_sites=n_sites,
+        n_satellites=n_sats,
+        start_s=start_s,
+        end_s=end_s,
+        rise_s=rises,
+        set_s=np.minimum(sets, end_s),
+        truncated_start=rng.random(total) < 0.2,
+        truncated_end=rng.random(total) < 0.2,
+        pair_offsets=offsets,
+    )
+
+    segment, handle = share_contact_intervals(contacts)
+    try:
+        attached_segment, attached = attach_contact_intervals(handle)
+        try:
+            assert attached.n_sites == contacts.n_sites
+            assert attached.n_satellites == contacts.n_satellites
+            assert attached.start_s == contacts.start_s
+            assert attached.end_s == contacts.end_s
+            for name in (
+                "rise_s",
+                "set_s",
+                "pair_offsets",
+                "truncated_start",
+                "truncated_end",
+            ):
+                original = getattr(contacts, name)
+                roundtrip = getattr(attached, name)
+                assert roundtrip.dtype == original.dtype, (
+                    f"{name}: dtype {roundtrip.dtype} != {original.dtype}"
+                )
+                assert np.array_equal(roundtrip, original), (
+                    f"{name}: values changed across the segment round-trip"
+                )
+                assert roundtrip.base is not None, (
+                    f"{name}: attached array is a copy, not a segment view"
+                )
+            # The pickle path (fallback transport) must ship values intact
+            # and never carry the process-local segment handle.
+            clone = pickle.loads(pickle.dumps(attached))
+            assert clone.segment is None, "pickled contacts kept a segment"
+            assert np.array_equal(clone.rise_s, contacts.rise_s)
+            assert np.array_equal(clone.pair_offsets, contacts.pair_offsets)
+        finally:
+            del attached
+            attached_segment.close()
+    finally:
+        segment.close()
+        segment.unlink()
+
+
 #: Registered invariants in a stable order (the index is the spawn key).
 #: Append only — the index feeds the replay spawn key, so reordering or
 #: inserting mid-list silently reseeds every later invariant.
@@ -290,6 +375,7 @@ INVARIANTS: Dict[str, Invariant] = {
     "raan_drift_sign": invariant_raan_drift_sign,
     "kepler_wrap": invariant_kepler_wrap,
     "interval_algebra": invariant_interval_algebra,
+    "intervals_shm_roundtrip": invariant_intervals_shm_roundtrip,
 }
 
 

@@ -256,6 +256,7 @@ def _summarize_details(check: CheckResult) -> str:
     if check.name == "oracle.intervals" and "contacts" in details:
         return (
             f"{details['contacts']} contacts, "
+            f"{details.get('scheduling_comparisons', 0)} schedules, "
             f"{len(details.get('mismatches', []))} mismatches"
         )
     if check.name.startswith("fuzz.") and "trials" in details:

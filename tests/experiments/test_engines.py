@@ -5,11 +5,17 @@ draws, the same sweep structure, and figure-level numbers that agree with
 the grid engine up to the documented one-step-per-edge budget (which
 shrinks as the scan step shrinks — the grid converges to the analytic
 answer, not the other way round).
+
+The checks ride the directory-wide ``engine`` fixture (see conftest):
+every test here runs once per engine against a module-cached grid-engine
+reference, so the grid pass doubles as a determinism check (default
+context == explicit grid context) and the intervals pass is the
+cross-engine agreement check.
 """
 
-import numpy as np
 import pytest
 
+from repro.experiments import common
 from repro.experiments.common import (
     ENGINE_GRID,
     ENGINE_INTERVALS,
@@ -18,6 +24,9 @@ from repro.experiments.common import (
 )
 from repro.experiments.fig2_coverage_vs_size import Fig2Scenario
 from repro.experiments.fig3_idle_vs_cities import Fig3Scenario
+from repro.experiments.fig4a_single_addition import Fig4aScenario
+from repro.experiments.fig5_withdrawal import Fig5Scenario
+from repro.experiments.fig6_party_skew import Fig6Scenario
 from repro.experiments.sharing_upside import SharingUpsideScenario
 from repro.runner import run_scenario
 
@@ -26,17 +35,25 @@ from repro.runner import run_scenario
 CONFIG = ExperimentConfig(runs=2, step_s=120.0, seed=11, duration_s=21_600.0)
 
 
+@pytest.fixture(scope="module", autouse=True)
+def _clear_caches_after():
+    yield
+    common.clear_caches()
+
+
 @pytest.fixture(scope="module")
-def grid_context():
+def grid_reference():
+    """Scenario results on an explicit grid-engine context, cached per
+    scenario so both engine params compare against the same reference."""
     context = ExperimentContext(engine=ENGINE_GRID)
-    yield context
-    context.clear()
+    cache = {}
 
+    def compute(name, factory):
+        if name not in cache:
+            cache[name] = run_scenario(factory(), CONFIG, context=context)
+        return cache[name]
 
-@pytest.fixture(scope="module")
-def intervals_context():
-    context = ExperimentContext(engine=ENGINE_INTERVALS)
-    yield context
+    yield compute
     context.clear()
 
 
@@ -48,26 +65,35 @@ class TestContextEngine:
         with pytest.raises(ValueError, match="engine"):
             ExperimentContext(engine="octree")
 
-    def test_interval_cache_hits(self, intervals_context):
+    def test_interval_cache_hits(self):
+        context = ExperimentContext(engine=ENGINE_INTERVALS)
         config = ExperimentConfig(runs=1, step_s=900.0, duration_s=10_800.0)
-        a = intervals_context.contact_intervals(config)
-        b = intervals_context.contact_intervals(config)
+        a = context.contact_intervals(config)
+        b = context.contact_intervals(config)
         assert a is b
+        context.clear()
 
-    def test_clear_releases_intervals(self, intervals_context):
+    def test_clear_releases_intervals(self):
+        context = ExperimentContext(engine=ENGINE_INTERVALS)
         config = ExperimentConfig(runs=1, step_s=900.0, duration_s=10_800.0)
-        a = intervals_context.contact_intervals(config)
-        intervals_context.clear()
-        b = intervals_context.contact_intervals(config)
+        a = context.contact_intervals(config)
+        context.clear()
+        b = context.contact_intervals(config)
         assert a is not b
+        context.clear()
 
 
-class TestFig2OnIntervals:
-    def test_agrees_with_grid_within_budget(self, grid_context, intervals_context):
-        scenario = Fig2Scenario(sizes=(100, 500, 2000))
-        on_grid = run_scenario(scenario, CONFIG, context=grid_context)
-        on_intervals = run_scenario(scenario, CONFIG, context=intervals_context)
-        for g, i in zip(on_grid.points, on_intervals.points):
+class TestFig2Matrix:
+    def _scenario(self):
+        return Fig2Scenario(sizes=(100, 500, 2000))
+
+    def test_agrees_with_grid_reference(self, engine, grid_reference):
+        result = run_scenario(self._scenario(), CONFIG)
+        reference = grid_reference("fig2", self._scenario)
+        if engine == ENGINE_GRID:
+            assert result.points == reference.points
+            return
+        for g, i in zip(reference.points, result.points):
             assert g.satellites == i.satellites
             # Identical subsets; only edge quantization differs.
             assert i.mean_uncovered_percent == pytest.approx(
@@ -77,71 +103,117 @@ class TestFig2OnIntervals:
                 g.mean_max_gap_s, abs=2.0 * CONFIG.step_s
             )
 
-    def test_uncovered_decreases_with_size(self, intervals_context):
-        result = run_scenario(
-            Fig2Scenario(sizes=(50, 500, 2000)), CONFIG,
-            context=intervals_context,
-        )
+    def test_uncovered_decreases_with_size(self):
+        result = run_scenario(Fig2Scenario(sizes=(50, 500, 2000)), CONFIG)
         uncovered = [p.mean_uncovered_percent for p in result.points]
         assert uncovered == sorted(uncovered, reverse=True)
 
-    def test_deterministic(self, intervals_context):
+    def test_deterministic(self):
         scenario = Fig2Scenario(sizes=(100,))
-        a = run_scenario(scenario, CONFIG, context=intervals_context)
-        b = run_scenario(scenario, CONFIG, context=intervals_context)
+        a = run_scenario(scenario, CONFIG)
+        b = run_scenario(scenario, CONFIG)
         assert a.points == b.points
 
 
-class TestFig3OnIntervals:
-    def test_agrees_with_grid_within_budget(self, grid_context, intervals_context):
-        scenario = Fig3Scenario(city_counts=(1, 21), sample_size=50)
-        on_grid = run_scenario(scenario, CONFIG, context=grid_context)
-        on_intervals = run_scenario(scenario, CONFIG, context=intervals_context)
-        for g, i in zip(on_grid.points, on_intervals.points):
+class TestFig3Matrix:
+    def _scenario(self):
+        return Fig3Scenario(city_counts=(1, 21), sample_size=50)
+
+    def test_agrees_with_grid_reference(self, engine, grid_reference):
+        result = run_scenario(self._scenario(), CONFIG)
+        reference = grid_reference("fig3", self._scenario)
+        if engine == ENGINE_GRID:
+            assert result.points == reference.points
+            return
+        for g, i in zip(reference.points, result.points):
             assert g.cities == i.cities
             assert i.mean_idle_percent == pytest.approx(
                 g.mean_idle_percent, abs=3.0
             )
 
-    def test_idle_decreases_with_cities(self, intervals_context):
+    def test_idle_decreases_with_cities(self):
         result = run_scenario(
-            Fig3Scenario(city_counts=(1, 10, 21), sample_size=50), CONFIG,
-            context=intervals_context,
+            Fig3Scenario(city_counts=(1, 10, 21), sample_size=50), CONFIG
         )
         idle = [p.mean_idle_percent for p in result.points]
         assert idle == sorted(idle, reverse=True)
 
 
-class TestSharingOnIntervals:
-    def test_runs_end_to_end(self, intervals_context):
-        result = run_scenario(
-            SharingUpsideScenario(calibration_sizes=(10, 50, 200, 1000)),
-            CONFIG, context=intervals_context,
-        )
-        upside = result.upside
-        assert upside.shared_coverage_fraction > upside.alone_coverage_fraction
-        assert upside.satellite_multiplier > 1.0
+class TestFig4aMatrix:
+    def _scenario(self):
+        return Fig4aScenario(base_sizes=(1, 100))
 
-    def test_same_subsets_as_grid(self, grid_context, intervals_context):
+    def test_agrees_with_grid_reference(self, engine, grid_reference):
+        result = run_scenario(self._scenario(), CONFIG)
+        reference = grid_reference("fig4a", self._scenario)
+        if engine == ENGINE_GRID:
+            assert result.points == reference.points
+            return
+        for g, i in zip(reference.points, result.points):
+            assert g.base_satellites == i.base_satellites
+            assert i.mean_gain_hours == pytest.approx(
+                g.mean_gain_hours, abs=0.5
+            )
+
+
+class TestFig5Matrix:
+    def _scenario(self):
+        return Fig5Scenario(sizes=(200, 1000))
+
+    def test_agrees_with_grid_reference(self, engine, grid_reference):
+        result = run_scenario(self._scenario(), CONFIG)
+        reference = grid_reference("fig5", self._scenario)
+        if engine == ENGINE_GRID:
+            assert result.points == reference.points
+            return
+        for g, i in zip(reference.points, result.points):
+            assert g.satellites == i.satellites
+            assert i.mean_reduction_percent == pytest.approx(
+                g.mean_reduction_percent, abs=3.0
+            )
+
+
+class TestFig6Matrix:
+    def _scenario(self):
+        return Fig6Scenario(skews=(1, 10))
+
+    def test_agrees_with_grid_reference(self, engine, grid_reference):
+        result = run_scenario(self._scenario(), CONFIG)
+        reference = grid_reference("fig6", self._scenario)
+        if engine == ENGINE_GRID:
+            assert result.points == reference.points
+            return
+        for g, i in zip(reference.points, result.points):
+            assert g.skew == i.skew
+            assert g.largest_party_satellites == i.largest_party_satellites
+            assert i.mean_reduction_percent == pytest.approx(
+                g.mean_reduction_percent, abs=3.0
+            )
+
+
+class TestSharingMatrix:
+    def _scenario(self):
+        return SharingUpsideScenario(calibration_sizes=(10, 100, 1000))
+
+    def test_same_subsets_as_grid(self, engine, grid_reference):
         """Both engines must draw identical satellite samples: the
         calibration curve orderings match point for point."""
-        scenario = SharingUpsideScenario(calibration_sizes=(10, 100, 1000))
-        on_grid = run_scenario(scenario, CONFIG, context=grid_context)
-        on_intervals = run_scenario(scenario, CONFIG, context=intervals_context)
+        result = run_scenario(self._scenario(), CONFIG)
+        reference = grid_reference("sharing", self._scenario)
+        if engine == ENGINE_GRID:
+            assert result.calibration == reference.calibration
+            return
         for (size_g, cov_g), (size_i, cov_i) in zip(
-            on_grid.calibration, on_intervals.calibration
+            reference.calibration, result.calibration
         ):
             assert size_g == size_i
             assert cov_i == pytest.approx(cov_g, abs=0.06)
 
-
-class TestParallelFallback:
-    def test_intervals_forces_serial(self, intervals_context):
-        """The intervals engine has no shared-memory export: a parallel
-        request must fall back to the in-process path, results unchanged."""
-        scenario = Fig3Scenario(city_counts=(1,), sample_size=20)
-        serial = run_scenario(scenario, CONFIG, context=intervals_context)
-        parallel = run_scenario(
-            scenario, CONFIG, context=intervals_context, parallel=2
+    def test_runs_end_to_end(self):
+        result = run_scenario(
+            SharingUpsideScenario(calibration_sizes=(10, 50, 200, 1000)),
+            CONFIG,
         )
-        assert serial.points == parallel.points
+        upside = result.upside
+        assert upside.shared_coverage_fraction > upside.alone_coverage_fraction
+        assert upside.satellite_multiplier > 1.0

@@ -78,7 +78,7 @@ class TestFig2:
         result = run_fig2(COARSE, sizes=(100,))
         assert result.points[0].mean_uncovered_percent > 40.0
 
-    def test_paper_anchor_1000_sats(self):
+    def test_paper_anchor_1000_sats(self, grid_anchor):
         result = run_fig2(COARSE, sizes=(1000,))
         assert result.points[0].mean_uncovered_percent < 5.0
 
@@ -161,11 +161,11 @@ class TestFig5:
         losses = {p.satellites: p.mean_reduction_percent for p in result.points}
         assert losses[200] > losses[2000]
 
-    def test_paper_anchor_small_constellation(self):
+    def test_paper_anchor_small_constellation(self, grid_anchor):
         result = run_fig5(COARSE, sizes=(200,))
         assert result.points[0].mean_reduction_percent > 10.0
 
-    def test_paper_anchor_large_constellation(self):
+    def test_paper_anchor_large_constellation(self, grid_anchor):
         result = run_fig5(COARSE, sizes=(2000,))
         assert result.points[0].mean_reduction_percent < 3.0
 

@@ -1,0 +1,252 @@
+"""Tests for the event-sweep (interval-native) downlink scheduler.
+
+Hand-computed allocation fixtures pin the decision semantics, and the
+grid-instant agreement tests pin the bit-identity contract: because
+decisions happen at grid cadence and the candidate membership test
+``rise <= t < set`` equals the resampled grid mask, the interval
+scheduler must reproduce the grid scheduler exactly — floats included —
+whenever both see the same windows.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim.clock import TimeGrid
+from repro.sim.intervals import ContactIntervals
+from repro.sim.scheduling import (
+    DownlinkScheduler,
+    IntervalDownlinkScheduler,
+    SchedulingPolicy,
+    compare_policies,
+)
+
+
+def build_contacts(n_sites, n_sats, windows, start_s, end_s):
+    """CSR contacts from {(site, sat): [(rise, set), ...]}.
+
+    Windows may carry optional truncation flags as 4-tuples
+    ``(rise, set, truncated_start, truncated_end)``.
+    """
+    rises, sets, trunc_lo, trunc_hi = [], [], [], []
+    offsets = [0]
+    for site in range(n_sites):
+        for sat in range(n_sats):
+            for window in sorted(windows.get((site, sat), ())):
+                rise, stop = window[0], window[1]
+                rises.append(rise)
+                sets.append(stop)
+                trunc_lo.append(bool(window[2]) if len(window) > 2 else False)
+                trunc_hi.append(bool(window[3]) if len(window) > 3 else False)
+            offsets.append(len(rises))
+    return ContactIntervals(
+        n_sites=n_sites,
+        n_satellites=n_sats,
+        start_s=start_s,
+        end_s=end_s,
+        rise_s=np.array(rises, dtype=np.float64),
+        set_s=np.array(sets, dtype=np.float64),
+        truncated_start=np.array(trunc_lo, dtype=bool),
+        truncated_end=np.array(trunc_hi, dtype=bool),
+        pair_offsets=np.array(offsets, dtype=np.int64),
+    )
+
+
+def dense_from_contacts(contacts, grid):
+    """The (S, N, T) boolean tensor the grid scheduler would see."""
+    times = grid.times_s
+    visible = np.zeros(
+        (contacts.n_sites, contacts.n_satellites, grid.count), dtype=bool
+    )
+    for s in range(contacts.n_sites):
+        for n in range(contacts.n_satellites):
+            visible[s, n] = contacts.pair(s, n).sample(times)
+    return visible
+
+
+#: One station, two satellites, four 10-second steps: sat 0 visible
+#: [0, 25), sat 1 visible [15, 40).  Generation 1 Mbps, downlink 2 Mbps.
+GRID = TimeGrid(duration_s=40.0, step_s=10.0)
+WINDOWS = {(0, 0): [(0.0, 25.0)], (0, 1): [(15.0, 40.0)]}
+
+
+def _hand_scenario():
+    return build_contacts(1, 2, WINDOWS, 0.0, 40.0)
+
+
+def _run(policy, contacts=None):
+    return IntervalDownlinkScheduler(
+        contacts if contacts is not None else _hand_scenario(),
+        GRID,
+        downlink_rate_mbps=2.0,
+        generation_rate_mbps=1.0,
+        policy=policy,
+    ).run()
+
+
+class TestHandComputedAllocations:
+    """Every number below is worked by hand from the decision rules."""
+
+    def test_max_backlog(self):
+        result = _run(SchedulingPolicy.MAX_BACKLOG)
+        # t=0: only sat0 visible, drain 10.  t=10: same.  t=20: both
+        # visible, sat1's backlog (30) beats sat0's (10) -> sat1 drains
+        # the rate cap 20.  t=30: only sat1, drains 20.
+        assert result.assignment.tolist() == [[0, 0, 1, 1]]
+        assert result.downlinked_megabits.tolist() == [20.0, 40.0]
+        assert result.remaining_backlog_megabits.tolist() == [20.0, 0.0]
+
+    def test_first_visible(self):
+        result = _run(SchedulingPolicy.FIRST_VISIBLE)
+        # t=20: candidates [0, 1] -> lowest index wins (sat0), so sat1
+        # only ever drains at t=30.
+        assert result.assignment.tolist() == [[0, 0, 0, 1]]
+        assert result.downlinked_megabits.tolist() == [30.0, 20.0]
+        assert result.remaining_backlog_megabits.tolist() == [10.0, 20.0]
+
+    def test_round_robin(self):
+        result = _run(SchedulingPolicy.ROUND_ROBIN)
+        # Cursor advances past sat0 after t=0; at t=20 the rotation picks
+        # sat1 even though sat0 is also a candidate.
+        assert result.assignment.tolist() == [[0, 0, 1, 1]]
+        assert result.downlinked_megabits.tolist() == [20.0, 40.0]
+        assert result.remaining_backlog_megabits.tolist() == [20.0, 0.0]
+
+    def test_conservation(self):
+        for policy in SchedulingPolicy:
+            result = _run(policy)
+            np.testing.assert_allclose(
+                result.generated_megabits,
+                result.downlinked_megabits + result.remaining_backlog_megabits,
+            )
+
+    def test_station_busy_fraction(self):
+        result = _run(SchedulingPolicy.MAX_BACKLOG)
+        assert result.station_busy_fraction.tolist() == [1.0]
+
+
+class TestEdgeCases:
+    def test_zero_windows_schedule_nothing(self):
+        contacts = build_contacts(2, 3, {}, 0.0, 40.0)
+        result = IntervalDownlinkScheduler(
+            contacts, GRID, downlink_rate_mbps=2.0, generation_rate_mbps=1.0
+        ).run()
+        assert np.all(result.assignment == -1)
+        assert np.all(result.downlinked_megabits == 0.0)
+        # Everything generated is still backlogged.
+        np.testing.assert_allclose(
+            result.remaining_backlog_megabits, result.generated_megabits
+        )
+        assert result.station_busy_fraction.tolist() == [0.0, 0.0]
+
+    def test_truncated_pass_covers_the_horizon_edges(self):
+        """A window clipped at both horizon edges is visible at the first
+        and last grid instants (rise <= t < set)."""
+        contacts = build_contacts(
+            1, 1, {(0, 0): [(0.0, 40.0, True, True)]}, 0.0, 40.0
+        )
+        result = IntervalDownlinkScheduler(
+            contacts, GRID, downlink_rate_mbps=2.0, generation_rate_mbps=1.0
+        ).run()
+        assert result.assignment.tolist() == [[0, 0, 0, 0]]
+        # Drain always caps at the backlog (10 per step here).
+        assert result.downlinked_megabits.tolist() == [40.0]
+        assert result.remaining_backlog_megabits.tolist() == [0.0]
+
+    def test_overlapping_windows_count_not_flag(self):
+        """Two overlapping raw windows of one pair must behave exactly
+        like their union: the sweep counts overlaps, so the pair stays a
+        candidate until the *last* covering window sets."""
+        overlapping = build_contacts(
+            1, 1, {(0, 0): [(0.0, 22.0), (18.0, 40.0)]}, 0.0, 40.0
+        )
+        merged = build_contacts(1, 1, {(0, 0): [(0.0, 40.0)]}, 0.0, 40.0)
+        for policy in SchedulingPolicy:
+            a = _run(policy, contacts=overlapping)
+            b = _run(policy, contacts=merged)
+            assert a.assignment.tolist() == b.assignment.tolist()
+            assert a.downlinked_megabits.tolist() == b.downlinked_megabits.tolist()
+
+    def test_rejects_non_contacts(self):
+        with pytest.raises(ValueError, match="ContactIntervals"):
+            IntervalDownlinkScheduler(np.zeros((1, 2, 4), dtype=bool), GRID)
+
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ValueError, match="downlink"):
+            IntervalDownlinkScheduler(
+                _hand_scenario(), GRID, downlink_rate_mbps=0.0
+            )
+        with pytest.raises(ValueError, match="generation"):
+            IntervalDownlinkScheduler(
+                _hand_scenario(), GRID, generation_rate_mbps=-1.0
+            )
+
+
+class TestGridInstantAgreement:
+    """Bit-identity against the grid scheduler on the same windows."""
+
+    @pytest.mark.parametrize("policy", list(SchedulingPolicy))
+    def test_hand_scenario_matches_grid(self, policy):
+        contacts = _hand_scenario()
+        dense = dense_from_contacts(contacts, GRID)
+        on_grid = DownlinkScheduler(
+            dense, GRID, downlink_rate_mbps=2.0,
+            generation_rate_mbps=1.0, policy=policy,
+        ).run()
+        on_intervals = _run(policy)
+        assert np.array_equal(on_grid.assignment, on_intervals.assignment)
+        assert np.array_equal(
+            on_grid.downlinked_megabits, on_intervals.downlinked_megabits
+        )
+        assert np.array_equal(
+            on_grid.remaining_backlog_megabits,
+            on_intervals.remaining_backlog_megabits,
+        )
+
+    @pytest.mark.parametrize("policy", list(SchedulingPolicy))
+    def test_random_windows_match_grid(self, policy):
+        rng = np.random.default_rng(17)
+        grid = TimeGrid(duration_s=600.0, step_s=30.0)
+        windows = {}
+        for site in range(3):
+            for sat in range(5):
+                passes = []
+                t = float(rng.uniform(0.0, 120.0))
+                while t < 600.0 and rng.random() < 0.8:
+                    stop = t + float(rng.uniform(10.0, 150.0))
+                    passes.append((t, min(stop, 600.0)))
+                    t = stop + float(rng.uniform(20.0, 200.0))
+                if passes:
+                    windows[(site, sat)] = passes
+        contacts = build_contacts(3, 5, windows, 0.0, 600.0)
+        dense = dense_from_contacts(contacts, grid)
+        on_grid = DownlinkScheduler(
+            dense, grid, downlink_rate_mbps=5.0,
+            generation_rate_mbps=1.5, policy=policy,
+        ).run()
+        on_intervals = IntervalDownlinkScheduler(
+            contacts, grid, downlink_rate_mbps=5.0,
+            generation_rate_mbps=1.5, policy=policy,
+        ).run()
+        assert np.array_equal(on_grid.assignment, on_intervals.assignment)
+        assert np.array_equal(
+            on_grid.downlinked_megabits, on_intervals.downlinked_megabits
+        )
+        assert np.array_equal(
+            on_grid.remaining_backlog_megabits,
+            on_intervals.remaining_backlog_megabits,
+        )
+
+    def test_compare_policies_dispatches_on_type(self):
+        contacts = _hand_scenario()
+        dense = dense_from_contacts(contacts, GRID)
+        on_intervals = compare_policies(
+            contacts, GRID, downlink_rate_mbps=2.0, generation_rate_mbps=1.0
+        )
+        on_grid = compare_policies(
+            dense, GRID, downlink_rate_mbps=2.0, generation_rate_mbps=1.0
+        )
+        assert set(on_intervals) == set(SchedulingPolicy)
+        for policy in SchedulingPolicy:
+            assert np.array_equal(
+                on_grid[policy].assignment, on_intervals[policy].assignment
+            )

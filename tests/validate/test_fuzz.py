@@ -27,6 +27,7 @@ class TestHarnessMechanics:
             "raan_drift_sign",
             "kepler_wrap",
             "interval_algebra",
+            "intervals_shm_roundtrip",
         }
 
     def test_failures_are_collected_not_raised(self, monkeypatch):
