@@ -51,10 +51,10 @@ BENCH_CONFIG = ExperimentConfig(
 #: points REPRO_BENCH_OUT elsewhere so the committed records stay put.
 #: BENCH_PR1.json is the frozen pre-runner baseline; BENCH_PR3.json is the
 #: unified-runner record; BENCH_PR5.json the streaming-kernel record;
-#: BENCH_PR8.json is the current record (analytic contact intervals +
-#: the megaconstellation leg).
+#: BENCH_PR8.json the analytic-contact-intervals record; BENCH_PR10.json
+#: is the current record (subset-query kernels + warm worker pool).
 BENCH_REPORT_PATH = Path(
-    os.environ.get("REPRO_BENCH_OUT", Path(__file__).parent / "BENCH_PR8.json")
+    os.environ.get("REPRO_BENCH_OUT", Path(__file__).parent / "BENCH_PR10.json")
 )
 
 #: Per-test wall-clock, filled by the autouse timer fixture.

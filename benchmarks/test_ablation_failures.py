@@ -5,24 +5,16 @@ Simulates five years of attrition on a 500-satellite MP-LEO constellation
 coverage trajectory with and without a steady replenishment program.
 """
 
-import numpy as np
-
 from repro.analysis.reporting import Table
-from repro.constellation.sampling import sample_constellation
 from repro.core.failures import (
     FailureModel,
     replenishment_rate_for_steady_state,
     simulate_attrition,
 )
 from repro.experiments.common import (
-    CITY_INDICES,
-    ENGINE_INTERVALS,
     default_context,
-    pool_contact_intervals,
-    pool_visibility,
     starlink_pool,
-    weighted_city_coverage_fraction,
-    weighted_city_coverage_from_intervals,
+    weighted_city_coverage,
 )
 
 FLEET = 500
@@ -30,21 +22,19 @@ HORIZON_YEARS = 5.0
 
 
 def _run(config):
-    if default_context().engine == ENGINE_INTERVALS:
-        contacts = pool_contact_intervals(config)
-
-        def coverage_of(indices):
-            return weighted_city_coverage_from_intervals(contacts, indices)
-    else:
-        visibility = pool_visibility(config)
-
-        def coverage_of(indices):
-            return weighted_city_coverage_fraction(visibility, indices)
-
     rng = config.rng(salt=104)
     pool_size = len(starlink_pool())
     fleet_indices = rng.choice(pool_size, size=FLEET, replace=False)
     constellation = starlink_pool().take(fleet_indices)
+
+    # One fleet-scoped precompute (engine-appropriate); every attrition
+    # composition below is then a cheap masked subset query.  On a cold
+    # cache this skips building geometry for the ~3900 pool satellites
+    # the fleet never touches.
+    query = default_context().subset_query(config, fleet_indices)
+
+    def coverage_of(indices):
+        return weighted_city_coverage(query, indices)
 
     model = FailureModel(mean_lifetime_years=5.0, infant_mortality_prob=0.02)
     steady_rate = int(round(replenishment_rate_for_steady_state(FLEET, model)))

@@ -17,9 +17,9 @@ from repro.constellation.congestion import (
     independent_vs_shared_occupancy,
     shell_occupancy,
 )
-from repro.constellation.sampling import sample_constellation
+from repro.constellation.sampling import sample_indices
 from repro.core.economics import CostModel, compare_deployments
-from repro.experiments.common import starlink_pool
+from repro.experiments.common import default_context, starlink_pool
 from repro.sim.clock import TimeGrid
 
 PARTIES = 11
@@ -32,19 +32,26 @@ def _run(config):
     # is plenty to rank the two environments.
     grid = TimeGrid.hours(1.5, step_s=600.0)
     pool = starlink_pool()
+    # Subset the context-cached pool propagator instead of re-deriving
+    # batch state from elements per constellation.
+    pool_propagator = default_context().pool_propagator()
 
-    shared = sample_constellation(pool, PER_PARTY, rng, name="shared")
+    shared_idx = sample_indices(pool, PER_PARTY, rng)
+    shared = pool.take(shared_idx, name="shared")
     # 11 independent constellations jammed into the same altitude regime:
     # model as 11 independently sampled 400-satellite sub-constellations
     # (capped to keep the O(N^2) conjunction screen tractable; densities
     # scale linearly so the ranking is unaffected).
-    independent_sample = sample_constellation(
-        pool, min(PARTIES * 400, len(pool)), rng, name="independent-sample"
-    )
+    independent_idx = sample_indices(pool, min(PARTIES * 400, len(pool)), rng)
+    independent_sample = pool.take(independent_idx, name="independent-sample")
 
-    shared_report = conjunction_analysis(shared, grid, threshold_m=50_000.0)
+    shared_report = conjunction_analysis(
+        shared, grid, threshold_m=50_000.0,
+        propagator=pool_propagator.subset(shared_idx),
+    )
     independent_report = conjunction_analysis(
-        independent_sample, grid, threshold_m=50_000.0
+        independent_sample, grid, threshold_m=50_000.0,
+        propagator=pool_propagator.subset(independent_idx),
     )
     counts = independent_vs_shared_occupancy(PER_PARTY, PARTIES, PER_PARTY)
 

@@ -33,14 +33,28 @@ def sample_constellation(
     Raises:
         ValueError: If ``count`` exceeds the source size or is negative.
     """
+    indices = sample_indices(source, count, rng)
+    return source.take(indices, name=name or f"sample-{count}")
+
+
+def sample_indices(
+    source: Constellation,
+    count: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """The sorted index draw behind :func:`sample_constellation`.
+
+    Identical RNG consumption, so callers that need the indices too (e.g.
+    to subset a cached pool propagator) can take this and ``source.take``
+    themselves without perturbing downstream draws.
+    """
     if count < 0:
         raise ValueError(f"count must be non-negative, got {count}")
     if count > len(source):
         raise ValueError(
             f"cannot sample {count} satellites from a constellation of {len(source)}"
         )
-    indices = rng.choice(len(source), size=count, replace=False)
-    return source.take(np.sort(indices), name=name or f"sample-{count}")
+    return np.sort(rng.choice(len(source), size=count, replace=False))
 
 
 def sample_elements(

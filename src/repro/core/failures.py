@@ -102,19 +102,22 @@ def simulate_attrition(
     count = len(constellation)
     lifetimes = model.sample_lifetimes_years(count, rng)
     order = np.argsort(lifetimes)  # Earliest failures first.
+    sorted_lifetimes = lifetimes[order]
 
     points: List[AttritionPoint] = []
     for epoch in range(epochs):
         years = horizon_years * epoch / (epochs - 1)
         alive_mask = lifetimes > years
         # Replenishment restores the earliest failures, budget permitting.
+        # The dead (lifetime <= years) occupy exactly the first ``n_dead``
+        # slots of ``order``, so the restored set is a prefix — no
+        # per-satellite scan needed.
         budget = int(replenish_per_year * years)
-        for index in order:
-            if budget <= 0:
-                break
-            if not alive_mask[index]:
-                alive_mask[index] = True
-                budget -= 1
+        if budget > 0:
+            n_dead = int(
+                np.searchsorted(sorted_lifetimes, years, side="right")
+            )
+            alive_mask[order[: min(budget, n_dead)]] = True
         alive_indices = np.flatnonzero(alive_mask)
         points.append(
             AttritionPoint(

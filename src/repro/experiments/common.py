@@ -60,6 +60,8 @@ _INT_MISSES = metrics.counter("experiments.interval_cache.misses")
 _INT_EVICTIONS = metrics.counter("experiments.interval_cache.evictions")
 _INT_BUILD_SECONDS = metrics.histogram("experiments.interval_cache.build_seconds")
 _INT_LAST_BUILD = metrics.gauge("experiments.interval_cache.last_build_s")
+_SUBSET_HITS = metrics.counter("experiments.subset_cache.hits")
+_SUBSET_MISSES = metrics.counter("experiments.subset_cache.misses")
 
 #: Contact-evaluation engines a context can run experiments on.
 ENGINE_GRID = "grid"
@@ -163,6 +165,11 @@ class ExperimentContext:
         self._geometry: Dict[
             Tuple[Tuple[GroundSite, ...], TimeGrid], SiteGeometry
         ] = {}
+        self._subsets: Dict[tuple, object] = {}
+        # Persistent worker pool (duck-typed: anything with dispose()).
+        # Owned here so `clear()` tears down workers along with the shared
+        # segments they map; set by the parallel runner.
+        self._worker_pool: Optional[object] = None
 
     def pool(self, seed: int = 0) -> Constellation:
         """The cached synthetic Starlink-like pool (4408 satellites)."""
@@ -339,6 +346,88 @@ class ExperimentContext:
         """
         self._intervals[visibility_cache_key(config, pool_seed)] = contacts
 
+    def subset_query(self, config: ExperimentConfig, fleet=None, pool_seed: int = 0):
+        """An engine-appropriate subset-query object, cached per fleet.
+
+        Returns a :class:`repro.sim.kernels.subsets.SubsetQuery` (grid) or
+        :class:`repro.sim.intervals.IntervalSubsetQuery` (intervals) whose
+        precompute covers exactly ``fleet`` (pool indices; None = the whole
+        pool).  Attrition/withdrawal-style experiments pay the precompute
+        once and answer every composition with a cheap masked reduction.
+
+        When the full-pool artifact is already cached the precompute is a
+        free row gather; on a cold cache with a small fleet the build is
+        *fleet-scoped* — the einsum/trig scale with the fleet, not the
+        pool, which is the ~50x win behind ``ablation_failures``.  Both
+        paths yield bit-identical query results (all-circular pool;
+        pinned by tests/sim/test_subsets.py).
+        """
+        from repro.sim.intervals import IntervalSubsetQuery
+        from repro.sim.kernels.subsets import SubsetQuery, _as_sorted_fleet
+
+        sorted_fleet = None if fleet is None else _as_sorted_fleet(fleet)
+        base_key = visibility_cache_key(config, pool_seed)
+        key = (
+            base_key,
+            self.engine,
+            None if sorted_fleet is None else sorted_fleet.tobytes(),
+        )
+        cached = self._subsets.get(key)
+        if cached is not None:
+            _SUBSET_HITS.inc()
+            return cached
+        _SUBSET_MISSES.inc()
+        if self.engine == ENGINE_INTERVALS:
+            if sorted_fleet is None or base_key in self._intervals:
+                query = IntervalSubsetQuery.from_contacts(
+                    self.contact_intervals(config, pool_seed), sorted_fleet
+                )
+            else:
+                query = IntervalSubsetQuery(
+                    self._fleet_scoped_intervals(config, pool_seed, sorted_fleet),
+                    sorted_fleet,
+                )
+        else:
+            if sorted_fleet is None or base_key in self._visibility:
+                query = SubsetQuery.from_visibility(
+                    self.visibility(config, pool_seed), sorted_fleet
+                )
+            else:
+                sites = [
+                    city.terminal(min_elevation_deg=config.min_elevation_deg)
+                    for city in ALL_SITES
+                ]
+                grid = config.grid()
+                with span("subsets.build"):
+                    query = SubsetQuery.build(
+                        self.pool_propagator(pool_seed),
+                        self.site_geometry(sites, grid),
+                        grid,
+                        sorted_fleet,
+                        chunk_size=self.chunk_size,
+                    )
+        self._subsets[key] = query
+        return query
+
+    def _fleet_scoped_intervals(
+        self, config: ExperimentConfig, pool_seed: int, sorted_fleet: np.ndarray
+    ) -> ContactIntervals:
+        """Contact windows of one fleet only (satellite axis = fleet order)."""
+        sites = [
+            city.terminal(min_elevation_deg=config.min_elevation_deg)
+            for city in ALL_SITES
+        ]
+        grid = config.grid()
+        propagator = self.pool_propagator(pool_seed).subset(sorted_fleet)
+        with span("subsets.build"):
+            return find_contact_intervals(
+                propagator,
+                sites,
+                grid,
+                geometry=self.site_geometry(sites, grid),
+                chunk_size=self.chunk_size,
+            )
+
     def cached_visibility(self) -> Dict[VisibilityKey, PackedVisibility]:
         """A copy of the live visibility cache (tests inspect keying)."""
         return dict(self._visibility)
@@ -378,8 +467,32 @@ class ExperimentContext:
             except FileNotFoundError:  # pragma: no cover - already unlinked
                 pass
 
+    def adopt_worker_pool(self, pool: object) -> None:
+        """Attach a persistent worker pool, disposing any previous one."""
+        if self._worker_pool is not None and self._worker_pool is not pool:
+            self._worker_pool.dispose()
+        self._worker_pool = pool
+
+    @property
+    def worker_pool(self) -> Optional[object]:
+        """The live persistent worker pool, if the runner attached one."""
+        return self._worker_pool
+
+    def dispose_worker_pool(self) -> None:
+        """Tear down the persistent worker pool (idempotent)."""
+        pool = self._worker_pool
+        self._worker_pool = None
+        if pool is not None:
+            pool.dispose()
+
     def clear(self) -> None:
-        """Drop every cached pool/visibility/geometry this context owns."""
+        """Drop every cached pool/visibility/geometry this context owns.
+
+        Also tears down the persistent worker pool: its workers map the
+        shared segments disposed below, and the next parallel run must
+        respawn against fresh world state.
+        """
+        self.dispose_worker_pool()
         self.dispose_segments()
         _POOL_EVICTIONS.inc(len(self._pools))
         _VIS_EVICTIONS.inc(len(self._visibility))
@@ -390,6 +503,7 @@ class ExperimentContext:
         self._visibility.clear()
         self._intervals.clear()
         self._geometry.clear()
+        self._subsets.clear()
 
 
 #: Contexts holding shared-memory-backed tensors; their segments must be
@@ -473,4 +587,16 @@ def weighted_city_coverage_from_intervals(
 ) -> float:
     """:func:`weighted_city_coverage_fraction` on the intervals engine."""
     fractions = contacts.coverage_fractions(sat_indices)
+    return float(city_weights() @ fractions[_CITY_ROWS])
+
+
+def weighted_city_coverage(reducer, sat_indices) -> float:
+    """Population-weighted city coverage via any ``coverage_fractions`` source.
+
+    Works uniformly over :class:`~repro.sim.visibility.PackedVisibility`,
+    :class:`~repro.sim.intervals.ContactIntervals`, and the engine's
+    subset-query objects (:meth:`ExperimentContext.subset_query`), all of
+    which return per-site fractions in :data:`ALL_SITES` order.
+    """
+    fractions = reducer.coverage_fractions(sat_indices)
     return float(city_weights() @ fractions[_CITY_ROWS])

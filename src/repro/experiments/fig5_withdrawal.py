@@ -16,11 +16,9 @@ from typing import List, Sequence, Tuple
 import numpy as np
 
 from repro.experiments.common import (
-    ENGINE_INTERVALS,
     ExperimentConfig,
     ExperimentContext,
-    weighted_city_coverage_fraction,
-    weighted_city_coverage_from_intervals,
+    weighted_city_coverage,
 )
 from repro.runner import RunContext, Scenario, run_scenario
 
@@ -68,20 +66,10 @@ class Fig5Scenario(Scenario):
         return list(self.sizes)
 
     def run_one(self, ctx: RunContext, run_index: int) -> float:
-        if ctx.engine == ENGINE_INTERVALS:
-            contacts = ctx.contacts()
+        query = ctx.subset_query()
 
-            def coverage(indices: np.ndarray) -> float:
-                return float(
-                    weighted_city_coverage_from_intervals(contacts, indices)
-                )
-        else:
-            visibility = ctx.visibility()
-
-            def coverage(indices: np.ndarray) -> float:
-                return float(
-                    weighted_city_coverage_fraction(visibility, indices)
-                )
+        def coverage(indices: np.ndarray) -> float:
+            return weighted_city_coverage(query, indices)
 
         withdraw = int(round(self.withdraw_fraction * ctx.point))
         base = ctx.rng.choice(ctx.pool_size(), size=ctx.point, replace=False)

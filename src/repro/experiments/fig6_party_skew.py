@@ -19,11 +19,9 @@ import numpy as np
 
 from repro.core.party import contribution_ratio_split
 from repro.experiments.common import (
-    ENGINE_INTERVALS,
     ExperimentConfig,
     ExperimentContext,
-    weighted_city_coverage_fraction,
-    weighted_city_coverage_from_intervals,
+    weighted_city_coverage,
 )
 from repro.runner import RunContext, Scenario, run_scenario
 
@@ -81,20 +79,10 @@ class Fig6Scenario(Scenario):
         return contribution_ratio_split(self.total_satellites, ratios)[0]
 
     def run_one(self, ctx: RunContext, run_index: int) -> float:
-        if ctx.engine == ENGINE_INTERVALS:
-            contacts = ctx.contacts()
+        query = ctx.subset_query()
 
-            def coverage(indices: np.ndarray) -> float:
-                return float(
-                    weighted_city_coverage_from_intervals(contacts, indices)
-                )
-        else:
-            visibility = ctx.visibility()
-
-            def coverage(indices: np.ndarray) -> float:
-                return float(
-                    weighted_city_coverage_fraction(visibility, indices)
-                )
+        def coverage(indices: np.ndarray) -> float:
+            return weighted_city_coverage(query, indices)
 
         largest = self._largest_party_count(ctx.point)
         base = ctx.rng.choice(

@@ -104,6 +104,9 @@ class BenchComparison:
     #: Figures present in only one record (config drift indicator).
     only_in_base: List[str] = field(default_factory=list)
     only_in_new: List[str] = field(default_factory=list)
+    #: Host-mismatch warnings (report-only; e.g. differing CPU counts
+    #: mean wall-clock ratios measure the host, not the code).
+    warnings: List[str] = field(default_factory=list)
 
     @property
     def regressed(self) -> bool:
@@ -191,6 +194,20 @@ def compare_benchmarks(
     for name in sorted(set(base_spans) & set(new_spans)):
         result.spans.append(Delta(name, base_spans[name], new_spans[name]))
     result.percentiles = span_duration_percentiles(new)
+    # Same-host sanity: a wall-clock ratio between records from hosts with
+    # different CPU counts measures the hardware, not the change under
+    # test.  Report-only — schema-1 records carry no meta at all, and CI
+    # legitimately compares across runners — but the warning makes a
+    # cross-host "regression" self-explaining.  (No warning when either
+    # side lacks the field.)
+    base_cpus = (base.get("meta") or {}).get("cpus")
+    new_cpus = (new.get("meta") or {}).get("cpus")
+    if base_cpus is not None and new_cpus is not None and base_cpus != new_cpus:
+        result.warnings.append(
+            f"records come from hosts with different CPU counts "
+            f"(base: {base_cpus}, new: {new_cpus}); wall-clock ratios are "
+            f"not comparable across hosts"
+        )
     return result
 
 
@@ -224,6 +241,8 @@ def render_comparison(result: BenchComparison) -> str:
         lines.append(f"only in base: {', '.join(result.only_in_base)}")
     if result.only_in_new:
         lines.append(f"only in new:  {', '.join(result.only_in_new)}")
+    for warning in result.warnings:
+        lines.append(f"WARNING: {warning}")
     if result.spans:
         lines.append("")
         span_width = max(

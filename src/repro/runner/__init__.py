@@ -12,6 +12,7 @@ from repro.runner.monte_carlo import (
     MonteCarloRunner,
     run_scenario,
 )
+from repro.runner.pool import PersistentPool
 from repro.runner.scenario import (
     RunContext,
     Scenario,
@@ -28,6 +29,7 @@ from repro.runner.shared import (
 __all__ = [
     "MonteCarloRunner",
     "POOL_SEED",
+    "PersistentPool",
     "RunContext",
     "Scenario",
     "SharedVisibilityHandle",

@@ -31,6 +31,15 @@ spawning N workers costs N page-table mappings, not N artifact pickles
 (on platforms without shared memory the intervals engine degrades to a
 pickle copy; results are identical either way).
 
+The pool itself is **persistent**: worker initialization installs world
+state only (config, shared tensor/windows, engine, kernel backend), and
+each task ships its scenario alongside the run indices, so one warm pool
+serves every scenario of a CLI invocation back to back
+(:class:`~repro.runner.pool.PersistentPool`).  The pool is owned by the
+:class:`~repro.experiments.common.ExperimentContext` and torn down on
+``context.clear()``, on worker loss, or when a run needs incompatible
+worker state (different config/engine/backend/world or live channel).
+
 Each repetition runs inside a worker-local observability capture: its span
 records, metric deltas, and simulation-timeline events travel back with the
 sample and are folded into the parent's collectors
@@ -61,7 +70,6 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-import threading
 import time
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
@@ -71,6 +79,7 @@ from repro.experiments.common import (
     ExperimentConfig,
     ExperimentContext,
     default_context,
+    visibility_cache_key,
 )
 from repro.obs import bus as obs_bus
 from repro.obs import get_logger, metrics
@@ -78,6 +87,7 @@ from repro.obs import timeline as obs_timeline
 from repro.obs import trace as obs_trace
 from repro.obs.timeline import TimelineEvent
 from repro.obs.trace import span
+from repro.runner.pool import PersistentPool
 from repro.runner.scenario import RunContext, Scenario, run_rng
 from repro.runner.shared import (
     PickledIntervalsFallback,
@@ -87,8 +97,8 @@ from repro.runner.shared import (
     attach_packed_visibility,
     ensure_shared_intervals,
     ensure_shared_visibility,
-    unlink_shared_visibility,
 )
+from repro.sim import backends
 
 _LOG = get_logger(__name__)
 
@@ -102,6 +112,10 @@ POOL_SEED = 0
 
 #: One parallel task: (point_index, run_index).
 _Task = Tuple[int, int]
+
+#: What actually crosses the pipe per task: the scenario and sweep point
+#: ride along so a persistent pool's workers need no per-scenario state.
+_ShippedTask = Tuple[Scenario, Any, int, int]
 
 #: What a worker sends back per repetition: indices, the kernel's sample,
 #: its wall time, and the observability capture (trace snapshot, metrics
@@ -257,28 +271,102 @@ class MonteCarloRunner:
         tasks: List[_Task],
         workers: int,
     ) -> Dict[_Task, Any]:
-        handle, segment = self._shared_handle(scenario)
-        mp_context = _start_context()
+        pool = self._acquire_pool(scenario, workers, live=False)
         chunksize = max(1, len(tasks) // (workers * 8))
         _LOG.info(
-            "parallel %s: %d tasks on %d workers (chunksize %d, start=%s)",
+            "parallel %s: %d tasks on %d workers (chunksize %d)",
             scenario.name, len(tasks), workers, chunksize,
-            mp_context.get_start_method(),
         )
+        shipped = self._ship(scenario, points, tasks)
         try:
-            with mp_context.Pool(
-                processes=workers,
-                initializer=_init_worker,
-                initargs=(
-                    scenario, self.config, points, handle, POOL_SEED,
-                    getattr(self.context, "engine", ENGINE_GRID),
-                ),
-            ) as pool:
-                payloads = pool.map(_run_task, tasks, chunksize=chunksize)
-        finally:
-            if segment is not None:
-                unlink_shared_visibility(segment)
+            payloads = pool.map(_run_task, shipped, chunksize=chunksize)
+        except Exception:
+            # A worker exception leaves the pool's queue state suspect;
+            # don't let a later scenario inherit it.
+            pool.dispose(terminate=True)
+            raise
         return self._merge_payloads(payloads)
+
+    @staticmethod
+    def _ship(
+        scenario: Scenario, points: List[Any], tasks: List[_Task]
+    ) -> List[_ShippedTask]:
+        """Attach the scenario and sweep point to each (point, run) task."""
+        return [
+            (scenario, points[point_index], point_index, run_index)
+            for point_index, run_index in tasks
+        ]
+
+    def _pool_key(self, scenario: Scenario, live: bool) -> Tuple:
+        """Everything that shapes worker-side state, as a reuse key.
+
+        Two runs may share a warm pool only when their workers would have
+        been initialized identically: same engine, same kernel backend,
+        same config, same world-state cache entry (``None`` for scenarios
+        that never read the pool tensor), and — in live mode — the same
+        bus.  ``context.clear()`` disposes the pool, so a matching cache
+        key implies the workers' attached world state is still current.
+        """
+        engine = getattr(self.context, "engine", ENGINE_GRID)
+        world = (
+            (engine, visibility_cache_key(self.config, POOL_SEED))
+            if scenario.uses_pool
+            else None
+        )
+        return (
+            engine,
+            backends.default_backend_name(),
+            self.config,
+            POOL_SEED,
+            world,
+            live,
+            id(self.bus) if live else None,
+        )
+
+    def _acquire_pool(
+        self, scenario: Scenario, workers: int, live: bool
+    ) -> PersistentPool:
+        """The context's warm pool if compatible, else a fresh one.
+
+        A fresh pool is adopted by the context (displacing — and disposing
+        — any incompatible predecessor), so its workers stay warm for the
+        next scenario of this invocation and die with ``context.clear()``.
+        """
+        key = self._pool_key(scenario, live)
+        existing = getattr(self.context, "worker_pool", None)
+        if (
+            existing is not None
+            and hasattr(existing, "compatible")
+            and existing.compatible(key, workers)
+        ):
+            _LOG.info(
+                "reusing warm pool (%d workers) for %s",
+                existing.workers, scenario.name,
+            )
+            return existing
+        handle, segment = self._shared_handle(scenario)
+        mp_context = _start_context()
+        channel = self.bus.open_channel(mp_context) if live else None
+        initargs = (
+            self.config, handle, POOL_SEED,
+            getattr(self.context, "engine", ENGINE_GRID),
+            backends.default_backend_name(),
+        )
+        if live:
+            initargs = initargs + (channel, self.bus.heartbeat_s)
+        pool = PersistentPool(
+            key=key,
+            workers=workers,
+            mp_context=mp_context,
+            initializer=_init_worker,
+            initargs=initargs,
+            segment=segment,
+            channel=channel,
+        )
+        adopt = getattr(self.context, "adopt_worker_pool", None)
+        if adopt is not None:
+            adopt(pool)
+        return pool
 
     def _shared_handle(self, scenario: Scenario):
         """The shared-memory world-state handle for pool scenarios (or None).
@@ -332,9 +420,8 @@ class MonteCarloRunner:
         most the single repetition it was executing.
         """
         bus = self.bus
-        handle, segment = self._shared_handle(scenario)
-        mp_context = _start_context()
-        channel = bus.open_channel(mp_context)
+        pool = self._acquire_pool(scenario, workers, live=True)
+        channel = pool.channel
         _LOG.info(
             "parallel-live %s: %d tasks on %d workers (heartbeat %.2fs, "
             "stall timeout %.1fs)",
@@ -348,17 +435,10 @@ class MonteCarloRunner:
         idle: Dict[str, bool] = {}
         lost: List[_Task] = []
         orphan_since: Optional[float] = None
-        pool = mp_context.Pool(
-            processes=workers,
-            initializer=_init_worker,
-            initargs=(
-                scenario, self.config, points, handle, POOL_SEED,
-                getattr(self.context, "engine", ENGINE_GRID),
-                channel, bus.heartbeat_s,
-            ),
-        )
         try:
-            result = pool.map_async(_run_task, tasks, chunksize=1)
+            result = pool.map_async(
+                _run_task, self._ship(scenario, points, tasks), chunksize=1
+            )
             flush_deadline: Optional[float] = None
             last_frame = time.monotonic()
             while pending:
@@ -444,19 +524,21 @@ class MonteCarloRunner:
                         )
                         lost.extend(sorted(pending))
                         pending.clear()
-            if lost:
-                pool.terminate()
-            else:
-                pool.close()
-            pool.join()
             # Final sweep for stragglers queued behind the last poll.
             for frame in bus.drain(channel, timeout_s=0.0):
                 self._observe_live_frame(
                     frame, pending, in_flight, idle, by_task, merger
                 )
-        finally:
-            if segment is not None:
-                unlink_shared_visibility(segment)
+        except Exception:
+            # A worker exception (surfaced by result.get()) taints the
+            # pool's queue state; don't let a later scenario inherit it.
+            pool.dispose(terminate=True)
+            raise
+        if lost:
+            # Worker loss means the warm pool is down workers and its
+            # frame queue may hold a dead writer's lock: kill it.  The
+            # next parallel run respawns a fresh one.
+            pool.dispose(terminate=True)
         for task in sorted(lost):
             # Exact re-execution: the sample is a pure function of the task
             # id.  The merger holds later tasks' captures back until this
@@ -620,15 +702,12 @@ def _start_context():
 
 class _WorkerState:
     __slots__ = (
-        "scenario", "config", "points", "context", "segment", "pool_seed",
+        "config", "context", "segment", "pool_seed",
         "publisher", "runs_done", "current_task",
     )
 
-    def __init__(self, scenario, config, points, context, segment, pool_seed,
-                 publisher=None):
-        self.scenario = scenario
+    def __init__(self, config, context, segment, pool_seed, publisher=None):
         self.config = config
-        self.points = points
         self.context = context
         self.segment = segment  # Keeps the shm mapping alive for the tensor.
         self.pool_seed = pool_seed
@@ -649,27 +728,33 @@ _WORKER: Optional[_WorkerState] = None
 
 
 def _init_worker(
-    scenario: Scenario,
     config: ExperimentConfig,
-    points: List[Any],
     handle: Any,
     pool_seed: int,
     engine: str = ENGINE_GRID,
+    backend: str = "numpy",
     channel: Optional[obs_bus.BusChannel] = None,
     heartbeat_s: float = obs_bus.DEFAULT_HEARTBEAT_S,
 ) -> None:
     """Pool initializer: private context, shared world state attached.
+
+    World state **only** — no scenario, no sweep points: those ship with
+    each task, so a persistent pool's workers serve any scenario against
+    this (config, engine, backend, world) without reinitialization.
 
     ``handle`` selects what gets installed: a
     :class:`~repro.runner.shared.SharedVisibilityHandle` attaches the
     packed tensor, a :class:`~repro.runner.shared.SharedIntervalsHandle`
     attaches the CSR contact windows (both zero-copy), and a
     :class:`~repro.runner.shared.PickledIntervalsFallback` installs the
-    windows it carried by value.  In live mode (``channel`` given) the
-    worker also announces itself on the bus and starts the daemon
-    heartbeat thread.
+    windows it carried by value.  ``backend`` replays the parent's kernel
+    backend selection (the env var only covers fork starts).  In live mode
+    (``channel`` given) the worker also announces itself on the bus —
+    once per worker lifetime, however many scenarios it serves — and
+    starts the daemon heartbeat thread.
     """
     global _WORKER
+    backends.set_default_backend(backend)
     context = ExperimentContext(engine=engine)
     segment = None
     if isinstance(handle, SharedVisibilityHandle):
@@ -683,28 +768,28 @@ def _init_worker(
     publisher = None
     if channel is not None:
         publisher = obs_bus.WorkerPublisher(channel, f"worker-{os.getpid()}")
-    _WORKER = _WorkerState(
-        scenario, config, points, context, segment, pool_seed, publisher
-    )
+    _WORKER = _WorkerState(config, context, segment, pool_seed, publisher)
     if publisher is not None:
         publisher.publish(obs_bus.WORKER_ONLINE, pid=os.getpid())
         publisher.start_heartbeats(heartbeat_s, _WORKER.heartbeat_payload)
 
 
-def _run_task(task: _Task):
+def _run_task(task: _ShippedTask):
     """Execute one repetition in a worker and capture its observability.
 
-    The worker's collectors are reset at task start and snapshotted at task
-    end, so the payload carries exactly this repetition's spans, metric
-    deltas, and timeline events for the parent to merge.  In live mode the
-    payload ships inside the ``run.finished`` bus frame (the pool result is
-    a bare ack); otherwise it returns through the pool as before.
+    The task carries its scenario and sweep point (persistent-pool workers
+    hold world state only).  The worker's collectors are reset at task
+    start and snapshotted at task end, so the payload carries exactly this
+    repetition's spans, metric deltas, and timeline events for the parent
+    to merge.  In live mode the payload ships inside the ``run.finished``
+    bus frame (the pool result is a bare ack); otherwise it returns
+    through the pool as before.
     """
     state = _WORKER
     if state is None:  # pragma: no cover - initializer always ran
         raise RuntimeError("worker used before _init_worker")
-    point_index, run_index = task
-    state.current_task = task
+    scenario, point, point_index, run_index = task
+    state.current_task = (point_index, run_index)
     if state.publisher is not None:
         state.publisher.publish(
             obs_bus.RUN_STARTED, point_index=point_index, run_index=run_index
@@ -715,15 +800,15 @@ def _run_task(task: _Task):
     ctx = RunContext(
         config=state.config,
         context=state.context,
-        point=state.points[point_index],
+        point=point,
         point_index=point_index,
         run_index=run_index,
-        rng=run_rng(state.config.seed, state.scenario.salt, point_index, run_index),
+        rng=run_rng(state.config.seed, scenario.salt, point_index, run_index),
         pool_seed=state.pool_seed,
     )
     start = time.perf_counter()
-    with span(f"runner.run.{state.scenario.name}"):
-        sample = state.scenario.run_one(ctx, run_index)
+    with span(f"runner.run.{scenario.name}"):
+        sample = scenario.run_one(ctx, run_index)
     wall_s = time.perf_counter() - start
     state.runs_done += 1
     state.current_task = None

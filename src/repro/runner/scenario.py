@@ -97,6 +97,12 @@ class RunContext:
         """The analytic contact intervals for this run's configuration."""
         return self.context.contact_intervals(self.config, self.pool_seed)
 
+    def subset_query(self, fleet=None):
+        """An engine-appropriate subset-coverage query (see
+        :meth:`ExperimentContext.subset_query`).  Pool-wide by default;
+        pass ``fleet`` to scope the precompute to a fixed satellite set."""
+        return self.context.subset_query(self.config, fleet, self.pool_seed)
+
     @property
     def engine(self) -> str:
         """The context's contact engine (``"grid"`` or ``"intervals"``)."""

@@ -43,7 +43,7 @@ from repro.obs.trace import span
 from repro.orbits.frames import gmst_rad
 from repro.ground.sites import GroundSite
 from repro.orbits.propagator import BatchPropagator
-from repro.sim import kernels
+from repro.sim import backends, kernels
 from repro.sim.clock import TimeGrid
 
 #: Default width to which each rise/set edge is narrowed (seconds).
@@ -232,23 +232,21 @@ def grouped_union_seconds(
     endpoints; no coordinate shifting, so no precision loss at scale.
     """
     k = int(starts.size)
-    seconds = np.zeros(n_groups, dtype=np.float64)
     if k == 0:
-        return seconds
+        return np.zeros(n_groups, dtype=np.float64)
     times = np.concatenate([starts, stops])
     deltas = np.concatenate(
         [np.ones(k, dtype=np.int64), -np.ones(k, dtype=np.int64)]
     )
     both = np.concatenate([groups, groups])
     order = np.lexsort((deltas, times, both))
-    times = times[order]
-    deltas = deltas[order]
-    both = both[order]
-    count = np.cumsum(deltas)
-    same = both[1:] == both[:-1]
-    covered = np.where(same & (count[:-1] > 0), times[1:] - times[:-1], 0.0)
-    seconds += np.bincount(both[:-1], weights=covered, minlength=n_groups)
-    return seconds
+    # The sort stays here (one fixed tie order for every backend); only
+    # the accumulation over the sorted stream is backend-routed.  Every
+    # backend adds the same float64 spans in the same array order as
+    # np.bincount's weighted pass, so the sweep is bit-identical.
+    return backends.default_backend().sweep_accumulate(
+        times[order], deltas[order], both[order], n_groups
+    )
 
 
 def sweep_count_steps(
@@ -532,6 +530,111 @@ class ContactIntervals:
         step_times, counts = self.visible_count_steps(site_index, sat_indices)
         idx = np.searchsorted(step_times, times, side="right") - 1
         return counts[np.maximum(idx, 0)] * (idx >= 0)
+
+    # -- fleet restriction -------------------------------------------------
+
+    def restrict(self, sat_indices) -> "ContactIntervals":
+        """A compact copy holding only the given satellite columns.
+
+        The returned object's satellite axis is the *position* within
+        ``sat_indices``.  Windows are gathered pair by pair in (site-major,
+        given-order) layout with within-pair order preserved, so any
+        reduction over the restricted CSR is bit-identical to the same
+        reduction over the full CSR with the same satellite list: the
+        grouped sweep sees the identical multiset of (group, time, delta)
+        events, and events equal on all three sort keys are
+        interchangeable.
+        """
+        sats = self._sat_array(sat_indices)
+        sites = np.arange(self.n_sites, dtype=np.intp)
+        pair_ids = (sites[:, None] * self.n_satellites + sats[None, :]).ravel()
+        flat, _ = self._gather(pair_ids)
+        counts = self.pair_offsets[pair_ids + 1] - self.pair_offsets[pair_ids]
+        offsets = np.zeros(pair_ids.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        return ContactIntervals(
+            n_sites=self.n_sites,
+            n_satellites=int(sats.size),
+            start_s=self.start_s,
+            end_s=self.end_s,
+            rise_s=np.ascontiguousarray(self.rise_s[flat]),
+            set_s=np.ascontiguousarray(self.set_s[flat]),
+            truncated_start=np.ascontiguousarray(self.truncated_start[flat]),
+            truncated_end=np.ascontiguousarray(self.truncated_end[flat]),
+            pair_offsets=offsets,
+        )
+
+
+class IntervalSubsetQuery:
+    """Interval-native subset queries over a fleet-restricted CSR.
+
+    The event-sweep twin of
+    :class:`repro.sim.kernels.subsets.SubsetQuery`: one
+    :meth:`ContactIntervals.restrict` precompute shrinks the window
+    structure to the fleet under study, then arbitrary subsets are
+    answered by the incremental grouped sweep (through the active kernel
+    backend) over just those windows.  Query results are bit-identical to
+    calling the full :class:`ContactIntervals` reductions with the same
+    pool indices (see :meth:`ContactIntervals.restrict`).
+
+    ``fleet`` is None for a pool-wide query (subset indices are raw pool
+    indices, delegated without restriction).
+    """
+
+    def __init__(
+        self, contacts: "ContactIntervals", fleet: Optional[np.ndarray] = None
+    ) -> None:
+        self.contacts = contacts
+        self.fleet = fleet
+
+    @classmethod
+    def from_contacts(cls, contacts, fleet=None) -> "IntervalSubsetQuery":
+        if fleet is None:
+            return cls(contacts, None)
+        fleet = np.sort(np.asarray(fleet, dtype=np.intp).reshape(-1))
+        if fleet.size > 1 and np.any(fleet[1:] == fleet[:-1]):
+            raise ValueError("fleet indices must be unique")
+        return cls(contacts.restrict(fleet), fleet)
+
+    @property
+    def n_sites(self) -> int:
+        return self.contacts.n_sites
+
+    @property
+    def n_satellites(self) -> int:
+        """Satellites held by the precompute (the fleet size)."""
+        return self.contacts.n_satellites
+
+    def _local(self, subset):
+        """Map pool-index subsets to restricted columns (identity pool-wide)."""
+        if subset is None or self.fleet is None:
+            return subset
+        subset = np.asarray(subset, dtype=np.intp).reshape(-1)
+        if subset.size == 0:
+            return subset
+        local = np.searchsorted(self.fleet, subset)
+        local = np.minimum(local, self.fleet.size - 1)
+        if self.fleet.size == 0 or not np.array_equal(self.fleet[local], subset):
+            raise KeyError("subset contains satellites outside the fleet")
+        return local
+
+    def coverage_fractions(self, subset=None) -> np.ndarray:
+        """Covered fraction per site (S,) for one satellite subset."""
+        return self.contacts.coverage_fractions(self._local(subset))
+
+    def satellite_active_fractions(
+        self, subset=None, site_indices=None
+    ) -> np.ndarray:
+        """Active fraction per subset satellite (any selected site visible)."""
+        return self.contacts.satellite_active_fractions(
+            self._local(subset), site_indices
+        )
+
+    def k_coverage_fraction(self, site_index: int, k: int, subset=None) -> float:
+        """Fraction of the horizon with >= k subset satellites visible."""
+        return self.contacts.k_coverage_fraction(
+            site_index, int(k), self._local(subset)
+        )
 
 
 def _edge_visibility(

@@ -29,6 +29,12 @@ tests/sim/test_kernels.py and the ``oracle.fused`` validation check):
 * chunking the time axis is bit-neutral: each time sample is an independent
   batched-GEMM slice (pinned by the chunk-invariance tests).
 
+The threshold compare itself is routed through :mod:`repro.sim.backends`
+(an elementwise ``>=``, so every admissible backend is bit-identical —
+the ``oracle.backends`` validation check enforces it).  Subset-query
+batch kernels over the packed tensor live in
+:mod:`repro.sim.kernels.subsets`.
+
 Geometric pair culling
 ----------------------
 A satellite with inclination *i* never exceeds geocentric latitude
@@ -56,6 +62,7 @@ from repro.obs.trace import span
 from repro.orbits.frames import gmst_rad
 from repro.orbits.propagator import BatchPropagator
 from repro.ground.sites import GroundSite
+from repro.sim import backends
 from repro.sim.clock import TimeGrid
 
 _LOG = get_logger(__name__)
@@ -456,7 +463,9 @@ def iter_slabs(plan: StreamPlan) -> Iterator[Tuple[int, np.ndarray]]:
             )
         site_units = plan.geometry.units_chunk(offset, chunk_times)
         dots = np.einsum("ntk,stk->snt", sat_units, site_units, optimize=True)
-        slab = dots >= thresholds
+        # Threshold+reduce via the active kernel backend; an elementwise
+        # float64 compare, so every admissible backend is bit-identical.
+        slab = backends.default_backend().threshold_slab(dots, thresholds)
         # Release the float64 slab before yielding: it is 8x the boolean
         # slab and would otherwise stay alive across the next chunk's
         # einsum, doubling the transient peak.
@@ -567,3 +576,8 @@ def _finish(plan: StreamPlan, visible_samples: int) -> None:
     record_visibility_metrics(
         plan.n_sites, plan.n_satellites, plan.grid.count, visible_samples
     )
+
+
+# Imported last: the submodule depends on the names above.  Exposed as an
+# attribute so `kernels.subsets` works after `import repro.sim.kernels`.
+from repro.sim.kernels import subsets as subsets  # noqa: E402,F401

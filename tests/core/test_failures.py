@@ -93,6 +93,47 @@ class TestAttrition:
         with pytest.raises(ValueError, match="epochs"):
             simulate_attrition(small_walker, FailureModel(), rng, epochs=1)
 
+    def test_replenishment_matches_reference_loop(self, small_walker):
+        """The vectorized prefix-restore is exactly the per-satellite scan.
+
+        Replenishment restores the earliest failures first; the production
+        code does it with a searchsorted prefix of the failure order
+        instead of walking satellites one by one.  Both draw the same
+        lifetimes from the same seed, so every epoch's alive set must be
+        identical — across replenishment rates spanning none, scarce
+        (budget < dead), and abundant (budget > dead).
+        """
+
+        def reference(model, rng, horizon_years, epochs, replenish_per_year):
+            lifetimes = model.sample_lifetimes_years(len(small_walker), rng)
+            order = np.argsort(lifetimes)
+            masks = []
+            for epoch in range(epochs):
+                years = horizon_years * epoch / (epochs - 1)
+                alive = lifetimes > years
+                budget = int(replenish_per_year * years)
+                for index in order:
+                    if budget <= 0:
+                        break
+                    if not alive[index]:
+                        alive[index] = True
+                        budget -= 1
+                masks.append(np.flatnonzero(alive))
+            return masks
+
+        model = FailureModel()
+        for trial, rate in enumerate((0, 1, 3, 7, 50)):
+            points = simulate_attrition(
+                small_walker, model, np.random.default_rng(trial),
+                horizon_years=5.0, epochs=9, replenish_per_year=rate,
+            )
+            expected = reference(
+                model, np.random.default_rng(trial),
+                horizon_years=5.0, epochs=9, replenish_per_year=rate,
+            )
+            for point, indices in zip(points, expected):
+                np.testing.assert_array_equal(point.alive_indices, indices)
+
 
 class TestSteadyState:
     def test_rate(self):

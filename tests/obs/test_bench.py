@@ -118,6 +118,44 @@ class TestCompare:
                 _record({"fig2": 1.0}), _record({"fig2": 1.0}), threshold=0.0
             )
 
+    def test_cpu_count_mismatch_warns_report_only(self):
+        """Records from hosts with differing CPU counts get a warning in
+        the comparison and the rendering, but never a nonzero exit —
+        cross-host wall clocks are incomparable, not regressed."""
+        base = _record({"fig2": 1.0})
+        base["meta"] = {"cpus": 1}
+        new = _record({"fig2": 1.05})
+        new["meta"] = {"cpus": 8}
+        result = compare_benchmarks(base, new)
+        assert len(result.warnings) == 1
+        assert "CPU counts" in result.warnings[0]
+        assert "base: 1" in result.warnings[0]
+        assert "new: 8" in result.warnings[0]
+        assert "WARNING:" in render_comparison(result)
+        assert result.exit_code() == 0
+
+    def test_matching_cpu_counts_do_not_warn(self):
+        base = _record({"fig2": 1.0})
+        base["meta"] = {"cpus": 4}
+        new = _record({"fig2": 1.0})
+        new["meta"] = {"cpus": 4}
+        result = compare_benchmarks(base, new)
+        assert result.warnings == []
+        assert "WARNING:" not in render_comparison(result)
+
+    def test_missing_meta_cpus_tolerated(self):
+        """Schema-1 records and empty meta blocks carry no CPU count; the
+        comparison must stay silent rather than guess."""
+        schema1 = _record({"fig2": 1.0}, schema=1)
+        schema1.pop("meta", None)
+        empty_meta = _record({"fig2": 1.0})
+        counted = _record({"fig2": 1.0})
+        counted["meta"] = {"cpus": 2}
+        for base, new in (
+            (schema1, counted), (counted, empty_meta), (schema1, empty_meta),
+        ):
+            assert compare_benchmarks(base, new).warnings == []
+
 
 class TestPercentiles:
     def test_extracted_from_span_histograms(self):

@@ -1,0 +1,239 @@
+"""Tests for the pluggable kernel-backend registry and its bit-identity
+contract.
+
+The registry routes three hot operations (threshold+reduce, OR+popcount,
+event-sweep accumulation).  Admission rule: a backend must be bit-identical
+to plain numpy on every op — so the numpy legs here pin the reference
+semantics, and the numba legs (skipped when the package is absent; CI runs
+them in a dedicated job) pin the compiled path against it, up to and
+including whole figure tables on both contact engines.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim import backends
+
+requires_numba = pytest.mark.skipif(
+    not backends.available_backends().get("numba", False),
+    reason="numba not installed",
+)
+
+
+@pytest.fixture
+def op_inputs():
+    rng = np.random.default_rng(11)
+    dots = rng.standard_normal((3, 5, 41))
+    dots.ravel()[rng.integers(0, dots.size, size=10)] = 0.5  # Exact ties.
+    thresholds = np.full((3, 1, 1), 0.5)
+    rows = rng.integers(0, 256, size=(5, 17, 9), dtype=np.uint8)
+    n_groups = 4
+    starts = rng.uniform(0.0, 500.0, size=(n_groups, 6))
+    stops = starts + rng.uniform(0.0, 80.0, size=starts.shape)
+    k = starts.size
+    times = np.concatenate([starts.ravel(), stops.ravel()])
+    deltas = np.concatenate(
+        [np.ones(k, dtype=np.int64), -np.ones(k, dtype=np.int64)]
+    )
+    groups = np.tile(np.repeat(np.arange(n_groups), 6), 2)
+    order = np.lexsort((deltas, times, groups))
+    return (
+        dots, thresholds, rows,
+        times[order], deltas[order], groups[order], n_groups,
+    )
+
+
+class TestRegistry:
+    def test_both_backends_registered(self):
+        assert set(backends.backend_names()) == {"numpy", "numba"}
+
+    def test_numpy_always_available(self):
+        assert backends.available_backends()["numpy"] is True
+        assert backends.get_backend("numpy").name == "numpy"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            backends.get_backend("fortran")
+
+    def test_unavailable_backend_raises_runtime_error(self):
+        if backends.available_backends()["numba"]:
+            pytest.skip("numba installed; unavailability path not reachable")
+        with pytest.raises(RuntimeError, match="not available"):
+            backends.get_backend("numba")
+
+    def test_default_is_numpy(self):
+        assert backends.default_backend_name() in backends.backend_names()
+        assert backends.default_backend().name == backends.default_backend_name()
+
+    def test_set_default_round_trip(self):
+        original = backends.default_backend_name()
+        try:
+            backends.set_default_backend("numpy")
+            assert backends.default_backend_name() == "numpy"
+        finally:
+            backends.set_default_backend(original)
+
+    def test_use_backend_restores_previous(self):
+        before = backends.default_backend_name()
+        with backends.use_backend("numpy"):
+            assert backends.default_backend_name() == "numpy"
+        assert backends.default_backend_name() == before
+
+    def test_env_var_selects_default(self, monkeypatch):
+        monkeypatch.setenv(backends.ENV_VAR, "numpy")
+        monkeypatch.setattr(backends, "_DEFAULT_NAME", None)
+        assert backends.default_backend_name() == "numpy"
+
+    def test_env_var_bad_value_raises(self, monkeypatch):
+        monkeypatch.setenv(backends.ENV_VAR, "no-such-backend")
+        monkeypatch.setattr(backends, "_DEFAULT_NAME", None)
+        with pytest.raises(ValueError):
+            backends.default_backend_name()
+
+
+class TestNumpyReference:
+    """The numpy backend IS the reference formulation, verified literally."""
+
+    def test_threshold_slab(self, op_inputs):
+        dots, thresholds, *_ = op_inputs
+        got = backends.get_backend("numpy").threshold_slab(dots, thresholds)
+        np.testing.assert_array_equal(got, dots >= thresholds)
+        assert got.dtype == np.bool_
+
+    def test_or_popcount(self, op_inputs):
+        rows = op_inputs[2]
+        table = backends.POPCOUNT_TABLE
+        for axis in (0, 1):
+            got = backends.get_backend("numpy").or_popcount(rows, axis=axis)
+            want = (
+                table[np.bitwise_or.reduce(rows, axis=axis)]
+                .sum(axis=1)
+                .astype(np.int64)
+            )
+            np.testing.assert_array_equal(got, want)
+            assert got.dtype == np.int64
+
+    def test_sweep_accumulate(self, op_inputs):
+        _, _, _, times, deltas, groups, n_groups = op_inputs
+        got = backends.get_backend("numpy").sweep_accumulate(
+            times, deltas, groups, n_groups
+        )
+        counts = np.cumsum(deltas)
+        spans = np.diff(times)
+        same = groups[1:] == groups[:-1]
+        weights = np.where(same & (counts[:-1] > 0), spans, 0.0)
+        want = np.bincount(groups[:-1], weights=weights, minlength=n_groups)
+        np.testing.assert_array_equal(got, want)
+
+    def test_popcount_table(self):
+        values = np.arange(256, dtype=np.uint8)
+        want = np.array([bin(v).count("1") for v in range(256)])
+        np.testing.assert_array_equal(backends.POPCOUNT_TABLE[values], want)
+
+
+@requires_numba
+class TestNumbaIdentity:
+    """The compiled backend vs numpy, op by op — bit-identical."""
+
+    def test_ops_bit_identical(self, op_inputs):
+        dots, thresholds, rows, times, deltas, groups, n_groups = op_inputs
+        ref = backends.get_backend("numpy")
+        jit = backends.get_backend("numba")
+        np.testing.assert_array_equal(
+            jit.threshold_slab(dots, thresholds),
+            ref.threshold_slab(dots, thresholds),
+        )
+        for axis in (0, 1):
+            np.testing.assert_array_equal(
+                jit.or_popcount(rows, axis=axis),
+                ref.or_popcount(rows, axis=axis),
+            )
+        np.testing.assert_array_equal(
+            jit.sweep_accumulate(times, deltas, groups, n_groups),
+            ref.sweep_accumulate(times, deltas, groups, n_groups),
+        )
+
+
+@requires_numba
+class TestFigureTableIdentity:
+    """Whole figure results under numba == under numpy, on both engines.
+
+    The CLI promises ``--kernel-backend`` is an execution knob: these runs
+    go through the full experiment stack (visibility build or interval
+    sweep, subset queries, Monte-Carlo reduction) and must produce
+    identical result objects.
+    """
+
+    @pytest.fixture(params=["grid", "intervals"])
+    def engine_context(self, request):
+        from repro.experiments.common import ExperimentContext
+
+        context = ExperimentContext(engine=request.param)
+        yield context
+        context.clear()
+
+    def _config(self):
+        from repro.experiments.common import ExperimentConfig
+
+        return ExperimentConfig(duration_s=3_600.0, step_s=300.0, runs=2)
+
+    def _run_both(self, runner):
+        with backends.use_backend("numpy"):
+            reference = runner()
+        with backends.use_backend("numba"):
+            compiled = runner()
+        return reference, compiled
+
+    def test_fig2_identical(self, engine_context):
+        from repro.experiments.fig2_coverage_vs_size import Fig2Scenario
+        from repro.runner import MonteCarloRunner
+
+        runner = MonteCarloRunner(self._config(), context=engine_context)
+        ref, jit = self._run_both(
+            lambda: runner.run(Fig2Scenario(sizes=(50, 100)))
+        )
+        assert ref == jit
+
+    def test_fig3_identical(self, engine_context):
+        from repro.experiments.fig3_idle_vs_cities import Fig3Scenario
+        from repro.runner import MonteCarloRunner
+
+        runner = MonteCarloRunner(self._config(), context=engine_context)
+        ref, jit = self._run_both(
+            lambda: runner.run(
+                Fig3Scenario(city_counts=(1, 5), sample_size=100)
+            )
+        )
+        assert ref == jit
+
+    def test_attrition_trajectory_identical(self, engine_context):
+        """The ablation_failures computation: attrition + subset queries."""
+        from repro.core.failures import FailureModel, simulate_attrition
+        from repro.experiments.common import (
+            starlink_pool,
+            weighted_city_coverage,
+        )
+
+        config = self._config()
+        pool_size = len(starlink_pool())
+
+        def trajectory():
+            rng = config.rng(salt=104)
+            fleet = rng.choice(pool_size, size=80, replace=False)
+            query = engine_context.subset_query(config, fleet)
+            constellation = starlink_pool().take(fleet)
+            points = simulate_attrition(
+                constellation,
+                FailureModel(),
+                config.rng(salt=105),
+                horizon_years=5.0,
+                epochs=4,
+                replenish_per_year=8,
+            )
+            return [
+                weighted_city_coverage(query, fleet[point.alive_indices])
+                for point in points
+            ]
+
+        ref, jit = self._run_both(trajectory)
+        assert ref == jit
